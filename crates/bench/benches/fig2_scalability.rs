@@ -1,0 +1,28 @@
+//! Figure 2 (virtual time): Monte Carlo vs permutation runtime as the
+//! number of resampling iterations grows, on a 6-node cluster.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sparkscore_bench::paper_engine;
+
+fn fig2(c: &mut Criterion) {
+    let cfg = common::mini_config(400, 1);
+    let ctx = common::context(paper_engine(6, &cfg), &cfg);
+    let mut group = c.benchmark_group("fig2_scalability");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(1500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for &b in &[2usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("monte_carlo", b), &b, |bench, &b| {
+            bench.iter_custom(|n| common::mc_virtual(&ctx, b, true, n));
+        });
+        group.bench_with_input(BenchmarkId::new("permutation", b), &b, |bench, &b| {
+            bench.iter_custom(|n| common::perm_virtual(&ctx, b, n));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig2);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Figure 3 (virtual time): iterations × SNPs held constant — runtime
+//! should be roughly invariant within each method.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sparkscore_bench::paper_engine;
+
+fn fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_sensitivity");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(1500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    // iterations × SNPs = 8000 in each split.
+    for &(iters, snps) in &[(40usize, 200usize), (20, 400), (10, 800)] {
+        let cfg = common::mini_config(snps, 2);
+        let ctx = common::context(paper_engine(6, &cfg), &cfg);
+        let label = format!("{iters}x{snps}");
+        group.bench_with_input(
+            BenchmarkId::new("monte_carlo", &label),
+            &iters,
+            |bench, &iters| {
+                bench.iter_custom(|n| common::mc_virtual(&ctx, iters, true, n));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("permutation", &label),
+            &iters,
+            |bench, &iters| {
+                bench.iter_custom(|n| common::perm_virtual(&ctx, iters, n));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig3);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Figure 4 (virtual time): Monte Carlo with vs without RDD caching on
+//! the small (10K-row class) input, as iterations grow.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sparkscore_bench::paper_engine;
+
+fn fig4(c: &mut Criterion) {
+    let cfg = common::mini_config(200, 3);
+    let ctx = common::context(paper_engine(18, &cfg), &cfg);
+    let mut group = c.benchmark_group("fig4_caching_10k");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(1500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for &b in &[10usize, 50, 100] {
+        group.bench_with_input(BenchmarkId::new("cached", b), &b, |bench, &b| {
+            bench.iter_custom(|n| common::mc_virtual(&ctx, b, true, n));
+        });
+        group.bench_with_input(BenchmarkId::new("no_cache", b), &b, |bench, &b| {
+            bench.iter_custom(|n| common::mc_virtual(&ctx, b, false, n));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig4);
+criterion_main!(benches);

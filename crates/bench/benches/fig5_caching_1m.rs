@@ -1,0 +1,28 @@
+//! Figure 5 (virtual time): caching impact on the large (1M-row class)
+//! input — the gap between cached and uncached widens with input size.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sparkscore_bench::paper_engine;
+
+fn fig5(c: &mut Criterion) {
+    let cfg = common::mini_config(2000, 4);
+    let ctx = common::context(paper_engine(18, &cfg), &cfg);
+    let mut group = c.benchmark_group("fig5_caching_1m");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(1500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for &b in &[10usize, 50] {
+        group.bench_with_input(BenchmarkId::new("cached", b), &b, |bench, &b| {
+            bench.iter_custom(|n| common::mc_virtual(&ctx, b, true, n));
+        });
+        group.bench_with_input(BenchmarkId::new("no_cache", b), &b, |bench, &b| {
+            bench.iter_custom(|n| common::mc_virtual(&ctx, b, false, n));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig5);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Figure 6 (virtual time): strong scaling of the Monte Carlo workload
+//! over 6/12/18 nodes, with node-proportional storage memory so the
+//! 6-node cluster suffers the cache thrashing the paper attributes its
+//! superlinear gap to.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sparkscore_bench::{pressured_engine, u_rdd_bytes};
+
+fn fig6(c: &mut Criterion) {
+    let cfg = common::mini_config(2000, 5);
+    let per_node = (u_rdd_bytes(&cfg) as f64 / 11.0).ceil() as u64;
+    let mut group = c.benchmark_group("fig6_strong_scaling");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(1500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for &nodes in &[6u32, 12, 18] {
+        let ctx = common::context(pressured_engine(nodes, per_node * u64::from(nodes), &cfg), &cfg);
+        group.bench_with_input(BenchmarkId::new("mc_b10", nodes), &nodes, |bench, _| {
+            bench.iter_custom(|n| common::mc_virtual(&ctx, 10, true, n));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig6);
+criterion_main!(benches);

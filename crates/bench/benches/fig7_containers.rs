@@ -1,0 +1,35 @@
+//! Figure 7 (virtual time): runtime vs YARN container count on a fixed
+//! 36-node cluster — 42/84/126 containers all provide 252 task slots, so
+//! the curves should nearly coincide.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sparkscore_bench::container_engine;
+use sparkscore_cluster::ContainerRequest;
+
+fn fig7(c: &mut Criterion) {
+    let cfg = common::mini_config(2000, 6);
+    let mut group = c.benchmark_group("fig7_containers");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(1500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for req in [
+        ContainerRequest::paper_42(),
+        ContainerRequest::paper_84(),
+        ContainerRequest::paper_126(),
+    ] {
+        let ctx = common::context(container_engine(36, req, &cfg), &cfg);
+        group.bench_with_input(
+            BenchmarkId::new("mc_b10", req.containers),
+            &req,
+            |bench, _| {
+                bench.iter_custom(|n| common::mc_virtual(&ctx, 10, true, n));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig7);
+criterion_main!(benches);

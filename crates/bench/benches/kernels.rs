@@ -1,0 +1,79 @@
+//! Wall-time microbenchmarks of the computational kernels (not a paper
+//! figure): Cox score evaluation (risk-set-prefix vs naive), SKAT
+//! combination, Monte Carlo perturbation, and the engine's shuffle.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sparkscore_cluster::ClusterSpec;
+use sparkscore_rdd::Engine;
+use sparkscore_stats::resample::mc_weights;
+use sparkscore_stats::score::{cox_contributions_naive, CoxScore, ScoreModel, Survival};
+use sparkscore_stats::skat::{skat_statistic, SnpSet};
+
+fn random_cohort(n: usize, seed: u64) -> (Vec<Survival>, Vec<u8>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ph = (0..n)
+        .map(|_| Survival {
+            time: rng.gen_range(0.1..60.0),
+            event: rng.gen_bool(0.85),
+        })
+        .collect();
+    let g = (0..n).map(|_| rng.gen_range(0u8..3)).collect();
+    (ph, g)
+}
+
+fn cox_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cox_score");
+    for &n in &[100usize, 1000] {
+        let (ph, g) = random_cohort(n, 7);
+        let model = CoxScore::new(&ph);
+        group.bench_with_input(BenchmarkId::new("prefix_sum", n), &n, |b, _| {
+            b.iter(|| model.contributions(std::hint::black_box(&g)));
+        });
+        group.bench_with_input(BenchmarkId::new("naive_oracle", n), &n, |b, _| {
+            b.iter(|| cox_contributions_naive(std::hint::black_box(&ph), &g));
+        });
+    }
+    group.finish();
+}
+
+fn skat_kernel(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(8);
+    let m = 10_000;
+    let scores: Vec<f64> = (0..m).map(|_| rng.gen_range(-5.0..5.0)).collect();
+    let weights = vec![1.0; m];
+    let set = SnpSet::new(0, (0..m).collect());
+    c.bench_function("skat_10k_snps", |b| {
+        b.iter(|| skat_statistic(std::hint::black_box(&scores), &weights, &set));
+    });
+}
+
+fn mc_perturbation_kernel(c: &mut Criterion) {
+    let (ph, _) = random_cohort(1000, 9);
+    let model = CoxScore::new(&ph);
+    let mut rng = StdRng::seed_from_u64(10);
+    let g: Vec<u8> = (0..1000).map(|_| rng.gen_range(0u8..3)).collect();
+    let contribs = model.contributions(&g);
+    c.bench_function("mc_perturb_1000_patients", |b| {
+        let z = mc_weights(&mut rng, 1000);
+        b.iter(|| {
+            let s: f64 = contribs.iter().zip(&z).map(|(u, zi)| u * zi).sum();
+            std::hint::black_box(s * s)
+        });
+    });
+}
+
+fn engine_shuffle(c: &mut Criterion) {
+    let engine = Engine::builder(ClusterSpec::test_small(2)).build();
+    let pairs: Vec<(u64, u64)> = (0..20_000u64).map(|x| (x % 64, x)).collect();
+    let ds = engine.parallelize(pairs, 8);
+    c.bench_function("reduce_by_key_20k_records", |b| {
+        b.iter(|| ds.reduce_by_key(4, |a, b| a + b).count());
+    });
+}
+
+criterion_group!(benches, cox_kernels, skat_kernel, mc_perturbation_kernel, engine_shuffle);
+criterion_main!(benches);

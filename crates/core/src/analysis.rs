@@ -1,0 +1,587 @@
+//! The SparkScore analysis context and the paper's three algorithms.
+//!
+//! [`SparkScoreContext`] binds an engine to one analysis' inputs (genotype
+//! matrix, phenotypes, SNP weights, SNP-sets) and exposes:
+//!
+//! * [`SparkScoreContext::observed`] — **Algorithm 1**: the observed SKAT
+//!   statistics `S_k⁰`, computed as the RDD pipeline
+//!   `textFile → parse → filter(union of SNP-sets) → U → U² →
+//!   join(weights) → ω²U² → reduce_by_key(set)`;
+//! * [`SparkScoreContext::permutation`] — **Algorithm 2**: B phenotype
+//!   shufflings, each re-running the full pipeline (no caching — the
+//!   replicate's `U` depends on the shuffled phenotypes);
+//! * [`SparkScoreContext::monte_carlo`] — **Algorithm 3**: B draws of
+//!   N(0,1) multipliers perturbing the *cached* `U` RDD
+//!   (`Ũ_j = Σ_i Z_i U_ij`), the cache-friendly scheme whose speedups
+//!   Figs 2–5 of the paper measure.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sparkscore_data::io::{
+    parse_genotype_line, parse_phenotypes_text, parse_set_line, parse_weight_line,
+};
+use sparkscore_data::{DatasetPaths, GwasDataset};
+use sparkscore_dfs::DfsError;
+use sparkscore_rdd::{Broadcast, Dataset, Engine};
+use sparkscore_stats::resample::{mc_weights, random_permutation};
+use sparkscore_stats::score::ScoreModel;
+use sparkscore_stats::skat::SnpSet;
+
+use crate::model::{Model, Phenotype};
+use crate::result::{ObservedResult, ResamplingRun, SetScore, SnpResult};
+
+/// Per-record cost hints (in engine work units of 25 virtual ns each)
+/// modeling the reference platform — the paper's JVM/Spark 1.x stack —
+/// whose per-record costs differ from native Rust by wildly different
+/// factors per operation. Calibrated against Table III's observed pass
+/// (≈509 s for 100 000 SNPs × 1000 patients with ~2 HDFS input blocks):
+///
+/// * reading + tokenizing + boxing one genotype dosage from text:
+///   ≈ 10 µs  → 400 units per patient per line;
+/// * computing one patient's Cox score contribution (boxed pipeline):
+///   ≈ 2.5 µs → 100 units;
+/// * one multiply-add over the *cached, deserialized* `U` arrays
+///   (Algorithm 3's per-iteration work): ≈ 25 ns → 1 unit.
+///
+/// The three-orders-of-magnitude parse-vs-arithmetic gap is precisely the
+/// asymmetry that makes the paper's cached Monte Carlo iterations so much
+/// cheaper than permutation's full re-execution.
+const JVM_UNITS_PARSE_PER_PATIENT: f64 = 400.0;
+const JVM_UNITS_SCORE_PER_PATIENT: f64 = 100.0;
+const JVM_UNITS_ARITH_PER_PATIENT: f64 = 1.0;
+/// Parsing one small `"<snp> <weight>"` line.
+const JVM_UNITS_PARSE_WEIGHT_LINE: f64 = 40.0;
+
+/// How marginal scores combine into a SNP-set statistic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CombineMethod {
+    /// SKAT: `S_k = Σ_{j∈I_k} ω_j² U_j²` (the paper's statistic).
+    #[default]
+    Skat,
+    /// Weighted burden: `S_k = (Σ_{j∈I_k} ω_j U_j)²` — powerful when
+    /// member effects share a direction, weak when they cancel.
+    Burden,
+}
+
+/// How SNP weights reach the per-SNP scores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WeightsStrategy {
+    /// Shuffle join against the weights RDD, exactly as the paper's
+    /// Algorithm 1 step 9 prescribes.
+    #[default]
+    Join,
+    /// Broadcast a dense weight table and look weights up map-side — an
+    /// ablation of the paper's design: it removes two shuffle stages per
+    /// resampling iteration at the cost of shipping all weights to every
+    /// node once.
+    Broadcast,
+}
+
+/// Tunables for an analysis.
+#[derive(Debug, Clone)]
+pub struct AnalysisOptions {
+    /// Reduce-side partitions for the weights join and the per-set
+    /// aggregation (Spark's `spark.default.parallelism` analogue).
+    pub reduce_partitions: usize,
+    /// SNP-set combination method.
+    pub combine: CombineMethod,
+    /// Weight-delivery strategy (ablation; the paper joins).
+    pub weights_strategy: WeightsStrategy,
+}
+
+impl Default for AnalysisOptions {
+    fn default() -> Self {
+        AnalysisOptions {
+            reduce_partitions: 8,
+            combine: CombineMethod::Skat,
+            weights_strategy: WeightsStrategy::Join,
+        }
+    }
+}
+
+/// One analysis bound to an engine: inputs loaded, model fitted.
+pub struct SparkScoreContext {
+    engine: Arc<Engine>,
+    phenotype: Phenotype,
+    model: Model,
+    /// `(snp, weight)` pairs — joined against `ω²U²` every pass.
+    weights_rdd: Dataset<(u64, f64)>,
+    /// Filtered genotype matrix: rows of SNPs that appear in some set.
+    fgm: Dataset<(u64, Vec<u8>)>,
+    /// Dense `snp id → set id` lookup, broadcast to tasks.
+    snp_to_set: Broadcast<Vec<u64>>,
+    /// Dense `snp id → weight` table, present under
+    /// [`WeightsStrategy::Broadcast`].
+    weights_bc: Option<Broadcast<Vec<f64>>>,
+    /// Sorted set ids, the row order of every result.
+    set_ids: Vec<u64>,
+    options: AnalysisOptions,
+}
+
+impl SparkScoreContext {
+    /// Load a survival analysis from DFS text files (the paper's setup:
+    /// "Read input files from HDFS").
+    pub fn from_dfs(
+        engine: Arc<Engine>,
+        paths: &DatasetPaths,
+        options: AnalysisOptions,
+    ) -> Result<Self, DfsError> {
+        let phenotypes =
+            parse_phenotypes_text(&engine.dfs().read_to_string(&paths.phenotypes)?);
+        let sets: Vec<SnpSet> = engine
+            .dfs()
+            .read_to_string(&paths.sets)?
+            .lines()
+            .map(parse_set_line)
+            .collect();
+        let n = phenotypes.len() as f64;
+        let weights_rdd = engine
+            .text_file(&paths.weights)?
+            .map_with_cost(JVM_UNITS_PARSE_WEIGHT_LINE, |l| parse_weight_line(&l));
+        let gm = engine
+            .text_file(&paths.genotypes)?
+            .map_with_cost(n * JVM_UNITS_PARSE_PER_PATIENT, |l| parse_genotype_line(&l));
+        Ok(Self::from_parts(
+            engine,
+            Phenotype::Survival(phenotypes),
+            gm,
+            weights_rdd,
+            &sets,
+            options,
+        ))
+    }
+
+    /// Build an analysis from an in-memory synthetic dataset (skipping the
+    /// DFS round-trip; `partitions` controls genotype parallelism).
+    pub fn from_memory(
+        engine: Arc<Engine>,
+        dataset: &GwasDataset,
+        partitions: usize,
+        options: AnalysisOptions,
+    ) -> Self {
+        let rows: Vec<(u64, Vec<u8>)> = dataset
+            .genotypes
+            .iter()
+            .map(|r| (r.id, r.dosages.clone()))
+            .collect();
+        let gm = engine.parallelize(rows, partitions);
+        let weights: Vec<(u64, f64)> = dataset
+            .weights
+            .iter()
+            .enumerate()
+            .map(|(j, &w)| (j as u64, w))
+            .collect();
+        let weights_rdd = engine.parallelize(weights, partitions.clamp(1, 4));
+        Self::from_parts(
+            engine,
+            Phenotype::Survival(dataset.phenotypes.clone()),
+            gm,
+            weights_rdd,
+            &dataset.sets,
+            options,
+        )
+    }
+
+    /// Fully general constructor: any phenotype kind, any genotype/weight
+    /// datasets (e.g. an eQTL analysis with a quantitative trait).
+    pub fn from_parts(
+        engine: Arc<Engine>,
+        phenotype: Phenotype,
+        gm: Dataset<(u64, Vec<u8>)>,
+        weights_rdd: Dataset<(u64, f64)>,
+        sets: &[SnpSet],
+        options: AnalysisOptions,
+    ) -> Self {
+        assert!(!sets.is_empty(), "need at least one SNP-set");
+        assert!(options.reduce_partitions > 0);
+        let model = Model::fit(&phenotype);
+
+        // Union of all SNP-sets (Algorithm 1 step 4) for the matrix filter.
+        let mut union: Vec<u64> = sets
+            .iter()
+            .flat_map(|s| s.members.iter().map(|&m| m as u64))
+            .collect();
+        union.sort_unstable();
+        union.dedup();
+        let max_snp = union.last().map_or(0, |&m| m as usize + 1);
+
+        // Dense snp → set lookup (SNPs outside every set are filtered away
+        // before this is consulted).
+        let mut snp_to_set = vec![u64::MAX; max_snp];
+        for set in sets {
+            for &m in &set.members {
+                snp_to_set[m] = set.id;
+            }
+        }
+
+        let union_bc = engine.broadcast(union);
+        let fgm = gm.filter(move |(snp, _)| union_bc.value().binary_search(snp).is_ok());
+        let snp_to_set = engine.broadcast(snp_to_set);
+        let mut set_ids: Vec<u64> = sets.iter().map(|s| s.id).collect();
+        set_ids.sort_unstable();
+
+        // Under the broadcast ablation, gather the weights to the driver
+        // once (one job) and ship a dense table to every node.
+        let weights_bc = match options.weights_strategy {
+            WeightsStrategy::Join => None,
+            WeightsStrategy::Broadcast => {
+                let mut dense = vec![0.0f64; max_snp];
+                for (snp, w) in weights_rdd.collect() {
+                    dense[snp as usize] = w;
+                }
+                Some(engine.broadcast(dense))
+            }
+        };
+
+        SparkScoreContext {
+            engine,
+            phenotype,
+            model,
+            weights_rdd,
+            fgm,
+            snp_to_set,
+            weights_bc,
+            set_ids,
+            options,
+        }
+    }
+
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    pub fn num_patients(&self) -> usize {
+        self.phenotype.num_patients()
+    }
+
+    pub fn num_sets(&self) -> usize {
+        self.set_ids.len()
+    }
+
+    pub fn model(&self) -> &Model {
+        &self.model
+    }
+
+    /// The `U` RDD (Algorithm 1 step 7): per-SNP per-patient contributions
+    /// under `model_bc`.
+    fn u_rdd(&self, model_bc: &Broadcast<Model>) -> Dataset<(u64, Vec<f64>)> {
+        let model = model_bc.clone();
+        let cost = self.num_patients() as f64 * JVM_UNITS_SCORE_PER_PATIENT;
+        self.fgm
+            .map_with_cost(cost, move |(snp, g)| (snp, model.value().contributions(&g)))
+    }
+
+    /// Algorithm 1 steps 8–12 on a `U` RDD: inner sums (optionally with
+    /// Monte Carlo multipliers), weights join, ω²U², per-set aggregation.
+    fn set_scores_from_u(
+        &self,
+        u: &Dataset<(u64, Vec<f64>)>,
+        mc_multipliers: Option<Broadcast<Vec<f64>>>,
+    ) -> Vec<SetScore> {
+        let arith_cost = self.num_patients() as f64 * JVM_UNITS_ARITH_PER_PATIENT;
+        let inner = match mc_multipliers {
+            // Observed pass: U_j = Σ_i U_ij.
+            None => u.map_with_cost(arith_cost, |(snp, c)| {
+                let s: f64 = c.iter().sum();
+                (snp, s)
+            }),
+            // MC replicate: Ũ_j = Σ_i Z_i U_ij (Algorithm 3 step 4(I)a).
+            Some(z) => u.map_with_cost(arith_cost, move |(snp, c)| {
+                let s: f64 = c.iter().zip(z.value()).map(|(u, zi)| u * zi).sum();
+                (snp, s)
+            }),
+        };
+        let lookup = self.snp_to_set.clone();
+        let combine = self.options.combine;
+        // SKAT sums ω²U² per set; burden sums ωU per set and squares the
+        // total.
+        let weigh = move |u_stat: f64, w: f64| match combine {
+            CombineMethod::Skat => w * w * u_stat * u_stat,
+            CombineMethod::Burden => w * u_stat,
+        };
+        let per_snp_term = match &self.weights_bc {
+            // Paper-faithful: shuffle join against the weights RDD.
+            None => inner
+                .join(&self.weights_rdd, self.options.reduce_partitions)
+                .map(move |(snp, (u_stat, w))| (snp, weigh(u_stat, w))),
+            // Ablation: look the weight up in a broadcast table map-side.
+            Some(table) => {
+                let table = table.clone();
+                inner.map(move |(snp, u_stat)| {
+                    (snp, weigh(u_stat, table.value()[snp as usize]))
+                })
+            }
+        };
+        let per_set = per_snp_term
+            .map(move |(snp, term)| (lookup.value()[snp as usize], term))
+            .reduce_by_key(self.options.reduce_partitions, |a, b| a + b);
+        let scores = per_set.collect_as_map();
+        self.set_ids
+            .iter()
+            .map(|&id| {
+                let raw = scores.get(&id).copied().unwrap_or(0.0);
+                SetScore {
+                    set: id,
+                    score: match combine {
+                        CombineMethod::Skat => raw,
+                        CombineMethod::Burden => raw * raw,
+                    },
+                }
+            })
+            .collect()
+    }
+
+    /// Variant-by-variant analysis (the paper's other GWAS mode): marginal
+    /// score, empirical variance, and χ²₁ asymptotic p-value per SNP,
+    /// sorted by SNP id.
+    pub fn per_snp_asymptotic(&self) -> Vec<SnpResult> {
+        let model_bc = self.engine.broadcast(self.model.clone());
+        let u = self.u_rdd(&model_bc);
+        let mut rows: Vec<SnpResult> = u
+            .map(|(snp, contribs)| {
+                let (score, variance) = sparkscore_stats::score::score_and_variance(&contribs);
+                (snp, score, variance)
+            })
+            .collect()
+            .into_iter()
+            .map(|(snp, score, variance)| SnpResult {
+                snp,
+                score,
+                variance,
+                pvalue: sparkscore_stats::asymptotic::score_test_pvalue(score, variance),
+            })
+            .collect();
+        rows.sort_by_key(|r| r.snp);
+        rows
+    }
+
+    /// **Algorithm 1**: observed SKAT statistics `S_k⁰` for every set.
+    pub fn observed(&self) -> ObservedResult {
+        let wall_start = Instant::now();
+        let vt_start = self.engine.virtual_time_secs();
+        let metrics_start = self.engine.metrics_snapshot();
+        let model_bc = self.engine.broadcast(self.model.clone());
+        let u = self.u_rdd(&model_bc);
+        let scores = self.set_scores_from_u(&u, None);
+        ObservedResult {
+            scores,
+            wall: wall_start.elapsed(),
+            virtual_secs: self.engine.virtual_time_secs() - vt_start,
+            metrics: self.engine.metrics_snapshot().delta_since(&metrics_start),
+        }
+    }
+
+    /// **Algorithm 3**: Monte Carlo resampling with `num_replicates`
+    /// N(0,1)-multiplier replicates. `use_cache` controls whether the `U`
+    /// RDD is cached between iterations (the paper's Experiment B toggles
+    /// exactly this).
+    pub fn monte_carlo(&self, num_replicates: usize, seed: u64, use_cache: bool) -> ResamplingRun {
+        let wall_start = Instant::now();
+        let vt_start = self.engine.virtual_time_secs();
+        let metrics_start = self.engine.metrics_snapshot();
+
+        let model_bc = self.engine.broadcast(self.model.clone());
+        let u = self.u_rdd(&model_bc);
+        if use_cache {
+            u.cache(); // Algorithm 3 step 2: "Cache RDD U".
+        }
+        let observed = self.set_scores_from_u(&u, None);
+
+        let n = self.num_patients();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut counts = vec![0usize; observed.len()];
+        for _ in 0..num_replicates {
+            let z = self.engine.broadcast(mc_weights(&mut rng, n));
+            let replicate = self.set_scores_from_u(&u, Some(z));
+            for (count, (rep, obs)) in counts.iter_mut().zip(replicate.iter().zip(&observed)) {
+                if rep.score >= obs.score {
+                    *count += 1;
+                }
+            }
+        }
+        if use_cache {
+            u.unpersist();
+        }
+        ResamplingRun {
+            observed,
+            counts_ge: counts,
+            num_replicates,
+            wall: wall_start.elapsed(),
+            virtual_secs: self.engine.virtual_time_secs() - vt_start,
+            metrics: self.engine.metrics_snapshot().delta_since(&metrics_start),
+        }
+    }
+
+    /// **Algorithm 2**: permutation resampling with `num_replicates`
+    /// phenotype shufflings, each re-running the full score pipeline.
+    pub fn permutation(&self, num_replicates: usize, seed: u64) -> ResamplingRun {
+        let wall_start = Instant::now();
+        let vt_start = self.engine.virtual_time_secs();
+        let metrics_start = self.engine.metrics_snapshot();
+
+        let model_bc = self.engine.broadcast(self.model.clone());
+        let observed = self.set_scores_from_u(&self.u_rdd(&model_bc), None);
+
+        let n = self.num_patients();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut counts = vec![0usize; observed.len()];
+        for _ in 0..num_replicates {
+            let perm = random_permutation(&mut rng, n);
+            let shuffled = self.engine.broadcast(self.model.permuted(&perm));
+            // "Recalculate step 6 to 12 of Algorithm 1" — a fresh U RDD
+            // whose lineage re-reads and re-scores the genotype matrix.
+            let replicate = self.set_scores_from_u(&self.u_rdd(&shuffled), None);
+            for (count, (rep, obs)) in counts.iter_mut().zip(replicate.iter().zip(&observed)) {
+                if rep.score >= obs.score {
+                    *count += 1;
+                }
+            }
+        }
+        ResamplingRun {
+            observed,
+            counts_ge: counts,
+            num_replicates,
+            wall: wall_start.elapsed(),
+            virtual_secs: self.engine.virtual_time_secs() - vt_start,
+            metrics: self.engine.metrics_snapshot().delta_since(&metrics_start),
+        }
+    }
+
+    /// Lineage of the `U` RDD pipeline (diagnostics).
+    pub fn pipeline_lineage(&self) -> String {
+        let model_bc = self.engine.broadcast(self.model.clone());
+        self.u_rdd(&model_bc).lineage()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparkscore_cluster::ClusterSpec;
+    use sparkscore_data::SyntheticConfig;
+
+    fn small_context() -> SparkScoreContext {
+        let engine = Engine::builder(ClusterSpec::test_small(3))
+            .host_threads(2)
+            .build();
+        let ds = GwasDataset::generate(&SyntheticConfig::small(17));
+        SparkScoreContext::from_memory(engine, &ds, 4, AnalysisOptions::default())
+    }
+
+    #[test]
+    fn observed_scores_are_nonnegative_and_cover_all_sets() {
+        let ctx = small_context();
+        let obs = ctx.observed();
+        assert_eq!(obs.scores.len(), 10);
+        for s in &obs.scores {
+            assert!(s.score >= 0.0, "SKAT is non-negative");
+        }
+        // Sorted by set id.
+        for w in obs.scores.windows(2) {
+            assert!(w[0].set < w[1].set);
+        }
+        assert!(obs.virtual_secs > 0.0);
+    }
+
+    #[test]
+    fn observed_is_deterministic() {
+        let a = small_context().observed();
+        let b = small_context().observed();
+        assert_eq!(a.scores, b.scores);
+    }
+
+    #[test]
+    fn mc_zero_iterations_equals_observed() {
+        let ctx = small_context();
+        let obs = ctx.observed();
+        let run = ctx.monte_carlo(0, 1, true);
+        assert_eq!(run.observed, obs.scores);
+        assert_eq!(run.counts_ge, vec![0; 10]);
+        assert_eq!(run.num_replicates, 0);
+    }
+
+    #[test]
+    fn mc_cached_and_uncached_agree_on_counts() {
+        let ctx = small_context();
+        let cached = ctx.monte_carlo(20, 5, true);
+        let uncached = ctx.monte_carlo(20, 5, false);
+        assert_eq!(cached.counts_ge, uncached.counts_ge);
+        assert_eq!(cached.observed, uncached.observed);
+    }
+
+    #[test]
+    fn mc_cached_run_hits_cache() {
+        let ctx = small_context();
+        let run = ctx.monte_carlo(10, 3, true);
+        assert!(
+            run.metrics.cache_hits > 0,
+            "MC iterations must reuse the cached U RDD: {:?}",
+            run.metrics
+        );
+    }
+
+    #[test]
+    fn permutation_run_reports_structure() {
+        let ctx = small_context();
+        let run = ctx.permutation(5, 11);
+        assert_eq!(run.num_replicates, 5);
+        assert_eq!(run.counts_ge.len(), 10);
+        for &c in &run.counts_ge {
+            assert!(c <= 5);
+        }
+        let ps = run.pvalues();
+        assert!(ps.iter().all(|&p| p > 0.0 && p <= 1.0));
+    }
+
+    #[test]
+    fn broadcast_weights_match_join_weights() {
+        let engine = Engine::builder(ClusterSpec::test_small(2))
+            .host_threads(2)
+            .build();
+        let ds = GwasDataset::generate(&SyntheticConfig::small(23));
+        let join = SparkScoreContext::from_memory(
+            Arc::clone(&engine),
+            &ds,
+            4,
+            AnalysisOptions::default(),
+        )
+        .monte_carlo(15, 3, true);
+        let engine2 = Engine::builder(ClusterSpec::test_small(2))
+            .host_threads(2)
+            .build();
+        let bcast = SparkScoreContext::from_memory(
+            engine2,
+            &ds,
+            4,
+            AnalysisOptions {
+                weights_strategy: crate::analysis::WeightsStrategy::Broadcast,
+                ..AnalysisOptions::default()
+            },
+        )
+        .monte_carlo(15, 3, true);
+        assert_eq!(join.counts_ge, bcast.counts_ge);
+        for (a, b) in join.observed.iter().zip(&bcast.observed) {
+            assert!((a.score - b.score).abs() <= 1e-9 * (1.0 + b.score.abs()));
+        }
+    }
+
+    #[test]
+    fn per_snp_asymptotic_shape() {
+        let ctx = small_context();
+        let rows = ctx.per_snp_asymptotic();
+        assert_eq!(rows.len(), 200);
+        assert!(rows.iter().all(|r| (0.0..=1.0).contains(&r.pvalue)));
+    }
+
+    #[test]
+    fn pipeline_lineage_shows_inputs() {
+        let ctx = small_context();
+        let lineage = ctx.pipeline_lineage();
+        assert!(lineage.contains("map"));
+        assert!(lineage.contains("filter"));
+        assert!(lineage.contains("parallelize"));
+    }
+}

@@ -1,0 +1,20 @@
+//! Synthetic GWAS data and input-file handling for the SparkScore
+//! reproduction.
+//!
+//! Replaces the paper's R data-generation scripts (§III): exponential
+//! survival times, Bernoulli event indicators, Binomial(2, ρ) genotypes,
+//! exponential SNP-set sizes with leftover augmentation — plus the
+//! line-oriented text formats the distributed pipeline ingests from the
+//! DFS and the parsers its map tasks use.
+
+pub mod config;
+pub mod io;
+pub mod regions;
+pub mod synth;
+pub mod vcf;
+
+pub use config::{SyntheticConfig, WeightScheme};
+pub use io::{write_dataset_to_dfs, DatasetPaths};
+pub use regions::{snp_sets_from_genes, GeneRegion, SnpLocus};
+pub use synth::{GwasDataset, SnpRow};
+pub use vcf::{parse_vcf, to_analysis_inputs, write_vcf, VcfData, VcfError, VcfRecord};

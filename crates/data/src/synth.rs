@@ -1,0 +1,258 @@
+//! The paper's synthetic GWAS generator (§III), reimplemented faithfully:
+//!
+//! * survival time per patient ~ Exponential(1/12) (mean 12 months);
+//! * event indicator ~ Bernoulli(0.85), applied independently of the time
+//!   ("the event indicator is applied arbitrarily");
+//! * genotype per SNP/patient ~ Binomial(2, ρ_j), SNPs independent
+//!   ("in reality certain pairs of SNPs would be highly correlated … but
+//!   here they are generated independently");
+//! * SNP-set sizes ~ Exponential(mean m/K), rounded down, clamped to ≥ 1,
+//!   and the final set augmented with every SNP not picked by sets
+//!   1..K−1 so all simulated SNPs contribute to the measured runtimes.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use sparkscore_stats::dist::{sample_bernoulli, sample_exponential, sample_genotype};
+use sparkscore_stats::score::Survival;
+use sparkscore_stats::skat::SnpSet;
+
+use crate::config::SyntheticConfig;
+
+/// One SNP's row of the genotype matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnpRow {
+    /// Dense SNP index (the paper indexes SNPs 1..J; we use 0-based ids).
+    pub id: u64,
+    /// Dosages 0/1/2, one per patient.
+    pub dosages: Vec<u8>,
+}
+
+/// A complete synthetic cohort.
+#[derive(Debug, Clone)]
+pub struct GwasDataset {
+    pub config: SyntheticConfig,
+    /// `(Y_i, Δ_i)` per patient.
+    pub phenotypes: Vec<Survival>,
+    /// Genotype matrix, one row per SNP (row index == SNP id).
+    pub genotypes: Vec<SnpRow>,
+    /// SKAT weight ω_j per SNP.
+    pub weights: Vec<f64>,
+    /// The K SNP-sets; their union covers all SNPs.
+    pub sets: Vec<SnpSet>,
+}
+
+impl GwasDataset {
+    /// Generate a dataset; fully deterministic in `config.seed`.
+    pub fn generate(config: &SyntheticConfig) -> Self {
+        config.validate();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let phenotypes = generate_phenotypes(config, &mut rng);
+        let (genotypes, weights) = generate_genotypes(config, &mut rng);
+        let sets = generate_sets(config, &mut rng);
+        GwasDataset {
+            config: config.clone(),
+            phenotypes,
+            genotypes,
+            weights,
+            sets,
+        }
+    }
+
+    /// Genotype rows as plain vectors (the layout the reference sequential
+    /// implementations in `sparkscore-stats` consume).
+    pub fn genotype_rows(&self) -> Vec<Vec<u8>> {
+        self.genotypes.iter().map(|r| r.dosages.clone()).collect()
+    }
+
+    /// Plant a survival association at SNP `snp`: patients carrying more
+    /// copies of the allele die earlier by `hazard_factor` per copy.
+    /// Used by examples/tests to verify detection power end-to-end.
+    pub fn plant_survival_signal(&mut self, snp: usize, hazard_factor: f64) {
+        assert!(hazard_factor > 0.0);
+        let row = &self.genotypes[snp];
+        for (i, &dose) in row.dosages.iter().enumerate() {
+            // Scaling an exponential time by 1/h multiplies the hazard by h.
+            let h = hazard_factor.powi(i32::from(dose));
+            self.phenotypes[i].time /= h;
+        }
+    }
+}
+
+fn generate_phenotypes(config: &SyntheticConfig, rng: &mut StdRng) -> Vec<Survival> {
+    (0..config.patients)
+        .map(|_| Survival {
+            time: sample_exponential(rng, 1.0 / config.mean_survival),
+            event: sample_bernoulli(rng, config.event_rate),
+        })
+        .collect()
+}
+
+fn generate_genotypes(config: &SyntheticConfig, rng: &mut StdRng) -> (Vec<SnpRow>, Vec<f64>) {
+    let (lo, hi) = config.maf_range;
+    let mut rows = Vec::with_capacity(config.snps);
+    let mut weights = Vec::with_capacity(config.snps);
+    for id in 0..config.snps {
+        let rho = if lo == hi { lo } else { rng.gen_range(lo..hi) };
+        let dosages = (0..config.patients)
+            .map(|_| sample_genotype(rng, rho))
+            .collect();
+        rows.push(SnpRow {
+            id: id as u64,
+            dosages,
+        });
+        weights.push(config.weights.weight(rho));
+    }
+    (rows, weights)
+}
+
+fn generate_sets(config: &SyntheticConfig, rng: &mut StdRng) -> Vec<SnpSet> {
+    let m = config.snps;
+    let k = config.snp_sets;
+    let mean_size = config.mean_set_size();
+    // Deal member SNPs from a shuffled deck so sets are disjoint and
+    // "composed arbitrarily from all simulated SNPs".
+    let mut deck: Vec<usize> = (0..m).collect();
+    deck.shuffle(rng);
+    let mut cursor = 0usize;
+    let mut sets = Vec::with_capacity(k);
+    for set_id in 0..k.saturating_sub(1) {
+        // Size ~ floor(Exponential(mean m/K)), clamped to >= 1.
+        let size = (sample_exponential(rng, 1.0 / mean_size).floor() as usize).max(1);
+        let available = m - cursor;
+        // Keep one SNP in reserve per remaining set (incl. the last), so
+        // every set stays non-empty.
+        let remaining_sets = k - set_id - 1;
+        let take = size.min(available.saturating_sub(remaining_sets)).max(
+            usize::from(available > remaining_sets),
+        );
+        let members: Vec<usize> = deck[cursor..cursor + take].to_vec();
+        cursor += take;
+        sets.push(SnpSet::new(set_id as u64, members));
+    }
+    // "The SNP-set K is augmented by the SNPs not picked by SNP-sets 1
+    // through K−1": the final set takes the whole rest of the deck.
+    let members: Vec<usize> = deck[cursor..].to_vec();
+    sets.push(SnpSet::new((k - 1) as u64, members));
+    sets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SyntheticConfig;
+    use proptest::prelude::*;
+
+    fn small(seed: u64) -> GwasDataset {
+        GwasDataset::generate(&SyntheticConfig::small(seed))
+    }
+
+    #[test]
+    fn shapes_match_config() {
+        let ds = small(1);
+        assert_eq!(ds.phenotypes.len(), 50);
+        assert_eq!(ds.genotypes.len(), 200);
+        assert_eq!(ds.weights.len(), 200);
+        assert_eq!(ds.sets.len(), 10);
+        for (i, row) in ds.genotypes.iter().enumerate() {
+            assert_eq!(row.id, i as u64);
+            assert_eq!(row.dosages.len(), 50);
+            assert!(row.dosages.iter().all(|&d| d <= 2));
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = small(42);
+        let b = small(42);
+        assert_eq!(a.genotypes, b.genotypes);
+        assert_eq!(a.phenotypes, b.phenotypes);
+        assert_eq!(a.sets, b.sets);
+        let c = small(43);
+        assert_ne!(a.genotypes, c.genotypes);
+    }
+
+    #[test]
+    fn sets_partition_all_snps() {
+        let ds = small(7);
+        let mut seen = [false; 200];
+        for set in &ds.sets {
+            assert!(!set.members.is_empty());
+            for &j in &set.members {
+                assert!(!seen[j], "SNP {j} appears in two sets");
+                seen[j] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every SNP must be in some set");
+    }
+
+    #[test]
+    fn phenotype_marginals_match_paper_parameters() {
+        let cfg = SyntheticConfig {
+            patients: 40_000,
+            snps: 1,
+            snp_sets: 1,
+            ..SyntheticConfig::small(3)
+        };
+        let ds = GwasDataset::generate(&cfg);
+        let mean_t = ds.phenotypes.iter().map(|p| p.time).sum::<f64>() / 40_000.0;
+        let event_rate =
+            ds.phenotypes.iter().filter(|p| p.event).count() as f64 / 40_000.0;
+        assert!((mean_t - 12.0).abs() < 0.3, "mean survival {mean_t}");
+        assert!((event_rate - 0.85).abs() < 0.01, "event rate {event_rate}");
+    }
+
+    #[test]
+    fn set_sizes_average_near_m_over_k() {
+        let cfg = SyntheticConfig {
+            patients: 2,
+            snps: 20_000,
+            snp_sets: 200,
+            ..SyntheticConfig::small(5)
+        };
+        let ds = GwasDataset::generate(&cfg);
+        let mean = ds.sets.iter().map(|s| s.len()).sum::<usize>() as f64 / 200.0;
+        // The partition property forces the overall mean to exactly m/K;
+        // check the non-final sets' sizes look exponential-ish too.
+        assert_eq!(mean, 100.0);
+        let non_final_mean = ds.sets[..199]
+            .iter()
+            .map(|s| s.len())
+            .sum::<usize>() as f64
+            / 199.0;
+        assert!(
+            (non_final_mean - 100.0).abs() < 25.0,
+            "non-final mean set size {non_final_mean}"
+        );
+    }
+
+    #[test]
+    fn planted_signal_shortens_carrier_survival() {
+        let mut ds = small(11);
+        let before: Vec<f64> = ds.phenotypes.iter().map(|p| p.time).collect();
+        ds.plant_survival_signal(0, 3.0);
+        for (i, &dose) in ds.genotypes[0].dosages.iter().enumerate() {
+            let expected = before[i] / 3.0f64.powi(i32::from(dose));
+            assert!((ds.phenotypes[i].time - expected).abs() < 1e-12);
+        }
+    }
+
+    proptest! {
+        /// Sets always partition the SNPs, for any shape.
+        #[test]
+        fn prop_sets_partition(snps in 1usize..300, sets in 1usize..40, seed in any::<u64>()) {
+            let sets = sets.min(snps);
+            let cfg = SyntheticConfig {
+                patients: 3,
+                snps,
+                snp_sets: sets,
+                ..SyntheticConfig::small(seed)
+            };
+            let ds = GwasDataset::generate(&cfg);
+            prop_assert_eq!(ds.sets.len(), sets);
+            let mut all: Vec<usize> = ds.sets.iter().flat_map(|s| s.members.clone()).collect();
+            all.sort_unstable();
+            prop_assert_eq!(all, (0..snps).collect::<Vec<_>>());
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Block identity and payloads.
+
+use std::sync::Arc;
+
+/// Globally unique (per-DFS) block identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u64);
+
+/// A block payload together with its id. Payloads are immutable and shared.
+#[derive(Debug, Clone)]
+pub struct Block {
+    pub id: BlockId,
+    pub data: Arc<[u8]>,
+}
+
+impl Block {
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_len() {
+        let b = Block {
+            id: BlockId(1),
+            data: Arc::from(b"hello".to_vec().into_boxed_slice()),
+        };
+        assert_eq!(b.len(), 5);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn ids_order() {
+        assert!(BlockId(1) < BlockId(2));
+    }
+}

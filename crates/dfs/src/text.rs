@@ -1,0 +1,140 @@
+//! Line-oriented text input format.
+//!
+//! Files are split into chunks of at most `block_size` bytes **at line
+//! boundaries**: a record (line) never straddles two blocks, so a task can
+//! parse its block independently — the property Spark's `textFile` achieves
+//! with HDFS `TextInputFormat` by reading past block ends. Lines longer
+//! than the block size get a block of their own (oversized, like HDFS's
+//! handling of jumbo records).
+
+/// Default block size: 8 MiB. Real HDFS uses 128 MiB; the smaller default
+/// keeps per-block parallelism meaningful at laptop-scale inputs.
+pub const DEFAULT_BLOCK_SIZE: usize = 8 * 1024 * 1024;
+
+/// Split `contents` into line-aligned chunks of at most `block_size` bytes
+/// (except for single lines that exceed it). Re-concatenating the chunks
+/// yields `contents` exactly.
+pub fn split_into_blocks(contents: &str, block_size: usize) -> Vec<String> {
+    assert!(block_size > 0, "block size must be positive");
+    if contents.is_empty() {
+        return Vec::new();
+    }
+    let mut blocks = Vec::new();
+    let mut current = String::new();
+    for line in split_keeping_newlines(contents) {
+        if !current.is_empty() && current.len() + line.len() > block_size {
+            blocks.push(std::mem::take(&mut current));
+        }
+        current.push_str(line);
+        if current.len() >= block_size {
+            blocks.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        blocks.push(current);
+    }
+    blocks
+}
+
+/// Iterate over lines *including* their trailing `\n` (the final line may
+/// lack one).
+fn split_keeping_newlines(s: &str) -> impl Iterator<Item = &str> {
+    let mut rest = s;
+    std::iter::from_fn(move || {
+        if rest.is_empty() {
+            return None;
+        }
+        match rest.find('\n') {
+            Some(i) => {
+                let (line, tail) = rest.split_at(i + 1);
+                rest = tail;
+                Some(line)
+            }
+            None => {
+                let line = rest;
+                rest = "";
+                Some(line)
+            }
+        }
+    })
+}
+
+/// Parse the lines of one block (no trailing-newline entries).
+pub fn block_lines(block: &[u8]) -> impl Iterator<Item = &str> {
+    std::str::from_utf8(block)
+        .expect("text blocks are UTF-8")
+        .lines()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_input_no_blocks() {
+        assert!(split_into_blocks("", 16).is_empty());
+    }
+
+    #[test]
+    fn small_input_single_block() {
+        let blocks = split_into_blocks("a\nb\nc\n", 1024);
+        assert_eq!(blocks, vec!["a\nb\nc\n"]);
+    }
+
+    #[test]
+    fn splits_at_line_boundaries() {
+        // 4 lines of 4 bytes each; block size 8 → 2 lines per block.
+        let blocks = split_into_blocks("aa1\nbb2\ncc3\ndd4\n", 8);
+        assert_eq!(blocks, vec!["aa1\nbb2\n", "cc3\ndd4\n"]);
+    }
+
+    #[test]
+    fn jumbo_line_gets_own_block() {
+        let long = "x".repeat(100);
+        let input = format!("a\n{long}\nb\n");
+        let blocks = split_into_blocks(&input, 8);
+        assert_eq!(blocks.len(), 3);
+        assert_eq!(blocks[1], format!("{long}\n"));
+    }
+
+    #[test]
+    fn no_trailing_newline_preserved() {
+        let blocks = split_into_blocks("a\nb", 1024);
+        assert_eq!(blocks, vec!["a\nb"]);
+    }
+
+    #[test]
+    fn block_lines_parses() {
+        let lines: Vec<&str> = block_lines(b"snp1 0 1 2\nsnp2 1 1 0\n").collect();
+        assert_eq!(lines, vec!["snp1 0 1 2", "snp2 1 1 0"]);
+    }
+
+    proptest! {
+        /// Concatenating the blocks reproduces the input byte-for-byte.
+        #[test]
+        fn prop_round_trip(lines in proptest::collection::vec("[a-z]{0,20}", 0..50),
+                           block_size in 1usize..64) {
+            let input: String = lines.iter().map(|l| format!("{l}\n")).collect();
+            let blocks = split_into_blocks(&input, block_size);
+            let joined: String = blocks.concat();
+            prop_assert_eq!(joined, input);
+        }
+
+        /// Every block except jumbo-line blocks respects the size bound, and
+        /// no line is split across blocks.
+        #[test]
+        fn prop_line_alignment(lines in proptest::collection::vec("[a-z]{1,10}", 1..40),
+                               block_size in 4usize..32) {
+            let input: String = lines.iter().map(|l| format!("{l}\n")).collect();
+            let blocks = split_into_blocks(&input, block_size);
+            let mut reassembled = Vec::new();
+            for b in &blocks {
+                // Each block must itself end on a line boundary.
+                prop_assert!(b.ends_with('\n'));
+                reassembled.extend(b.lines().map(str::to_owned));
+            }
+            prop_assert_eq!(reassembled, lines);
+        }
+    }
+}

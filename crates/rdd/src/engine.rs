@@ -1,0 +1,592 @@
+//! The execution engine: the "Spark driver + executors" of this crate.
+//!
+//! An [`Engine`] binds together the simulated cluster, the DFS, the block
+//! cache, the shuffle manager, and the operator metadata registry, and runs
+//! jobs submitted by dataset actions:
+//!
+//! 1. [`Engine::run_job`] asks the meta registry for the shuffles the
+//!    target's lineage needs (pruned at fully-cached ops — the mechanism
+//!    behind Algorithm 3's cached `U` RDD),
+//! 2. materializes each missing shuffle map stage in dependency order,
+//! 3. runs the result stage.
+//!
+//! Real computation executes on a host thread pool; every task also
+//! accumulates work counters that are list-scheduled onto the *virtual*
+//! cluster to produce deterministic virtual runtimes (the quantity the
+//! paper's figures plot). Fault injection hooks at task-completion
+//! boundaries, and lost cache blocks / shuffle outputs are recovered from
+//! lineage on demand.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Weak};
+
+use parking_lot::{Mutex, RwLock};
+use sparkscore_cluster::{
+    Cluster, ClusterSpec, ContainerRequest, CostModel, ExecutorLayout, FaultEvent, FaultPlan,
+    NodeId, ResourceManager, VirtualClock, VirtualScheduler, VirtualTask,
+};
+use sparkscore_dfs::Dfs;
+
+use crate::cache::CacheManager;
+use crate::context::TaskCtx;
+use crate::estimate::EstimateSize;
+use crate::meta::MetaRegistry;
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::shuffle::{hash_key, ShuffleManager};
+use crate::{OpId, ShuffleId};
+
+/// Configures and builds an [`Engine`].
+pub struct EngineBuilder {
+    spec: ClusterSpec,
+    dfs_block_size: usize,
+    dfs_replication: Option<usize>,
+    containers: Option<ContainerRequest>,
+    cost_model: CostModel,
+    /// Fraction of granted executor memory usable as block-cache storage
+    /// (Spark's `spark.memory.fraction × storageFraction` ≈ 0.3; we default
+    /// to 0.5 of the executor grant).
+    cache_fraction: f64,
+    cache_budget_override: Option<u64>,
+    host_threads: Option<usize>,
+    fault_plan: Arc<FaultPlan>,
+}
+
+impl EngineBuilder {
+    pub fn new(spec: ClusterSpec) -> Self {
+        EngineBuilder {
+            spec,
+            dfs_block_size: sparkscore_dfs::DEFAULT_BLOCK_SIZE,
+            dfs_replication: None,
+            containers: None,
+            cost_model: CostModel::default(),
+            cache_fraction: 0.5,
+            cache_budget_override: None,
+            host_threads: None,
+            fault_plan: Arc::new(FaultPlan::none()),
+        }
+    }
+
+    /// DFS block size in bytes (default 8 MiB).
+    pub fn dfs_block_size(mut self, bytes: usize) -> Self {
+        self.dfs_block_size = bytes;
+        self
+    }
+
+    /// DFS replication factor (default `min(3, nodes)`).
+    pub fn dfs_replication(mut self, replication: usize) -> Self {
+        self.dfs_replication = Some(replication);
+        self
+    }
+
+    /// Run on an explicit container allocation instead of one executor per
+    /// node (the paper's auto-tuning experiment).
+    pub fn containers(mut self, req: ContainerRequest) -> Self {
+        self.containers = Some(req);
+        self
+    }
+
+    pub fn cost_model(mut self, model: CostModel) -> Self {
+        self.cost_model = model;
+        self
+    }
+
+    /// Override the block-cache budget in bytes (default: `cache_fraction`
+    /// of total executor memory).
+    pub fn cache_budget_bytes(mut self, bytes: u64) -> Self {
+        self.cache_budget_override = Some(bytes);
+        self
+    }
+
+    pub fn cache_fraction(mut self, frac: f64) -> Self {
+        assert!(frac > 0.0 && frac <= 1.0, "fraction must be in (0, 1]");
+        self.cache_fraction = frac;
+        self
+    }
+
+    /// Cap on host worker threads (default: host parallelism).
+    pub fn host_threads(mut self, n: usize) -> Self {
+        assert!(n > 0, "need at least one host thread");
+        self.host_threads = Some(n);
+        self
+    }
+
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Arc::new(plan);
+        self
+    }
+
+    pub fn build(self) -> Arc<Engine> {
+        let cluster = Arc::new(Cluster::provision(self.spec));
+        let replication = self
+            .dfs_replication
+            .unwrap_or_else(|| cluster.num_nodes().min(3));
+        let dfs = Arc::new(
+            Dfs::new(Arc::clone(&cluster), self.dfs_block_size, replication)
+                .expect("builder-validated DFS configuration"),
+        );
+        let rm = ResourceManager::new(Arc::clone(&cluster));
+        let layout = match self.containers {
+            Some(req) => rm.allocate(req).expect("container request must fit cluster"),
+            None => rm.one_executor_per_node(),
+        };
+        let cache_budget = self
+            .cache_budget_override
+            .unwrap_or_else(|| (layout.total_memory_bytes() as f64 * self.cache_fraction) as u64);
+        let vsched = VirtualScheduler::new(
+            &layout,
+            &cluster.spec().instance,
+            self.cost_model.clone(),
+        );
+        let host_threads = self
+            .host_threads
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(4)
+            })
+            .max(1);
+        Arc::new(Engine {
+            cluster,
+            dfs,
+            layout,
+            cost_model: self.cost_model,
+            cache: CacheManager::new(cache_budget),
+            shuffle: ShuffleManager::new(),
+            meta: MetaRegistry::new(),
+            metrics: Metrics::new(),
+            vclock: VirtualClock::new(),
+            vsched: Mutex::new(vsched),
+            fault_plan: RwLock::new(self.fault_plan),
+            next_op: AtomicU64::new(0),
+            next_shuffle: AtomicU64::new(0),
+            next_broadcast: AtomicU64::new(0),
+            host_threads,
+        })
+    }
+}
+
+/// The dataflow engine. Shared behind an `Arc`; all operations take `&self`.
+pub struct Engine {
+    cluster: Arc<Cluster>,
+    dfs: Arc<Dfs>,
+    layout: ExecutorLayout,
+    cost_model: CostModel,
+    pub(crate) cache: CacheManager,
+    pub(crate) shuffle: ShuffleManager,
+    pub(crate) meta: MetaRegistry,
+    pub(crate) metrics: Metrics,
+    vclock: VirtualClock,
+    vsched: Mutex<VirtualScheduler>,
+    fault_plan: RwLock<Arc<FaultPlan>>,
+    next_op: AtomicU64,
+    next_shuffle: AtomicU64,
+    next_broadcast: AtomicU64,
+    host_threads: usize,
+}
+
+impl Engine {
+    /// Start configuring an engine for a cluster shape.
+    pub fn builder(spec: ClusterSpec) -> EngineBuilder {
+        EngineBuilder::new(spec)
+    }
+
+    pub fn cluster(&self) -> &Arc<Cluster> {
+        &self.cluster
+    }
+
+    pub fn dfs(&self) -> &Arc<Dfs> {
+        &self.dfs
+    }
+
+    pub fn layout(&self) -> &ExecutorLayout {
+        &self.layout
+    }
+
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost_model
+    }
+
+    pub fn cache_budget_bytes(&self) -> u64 {
+        self.cache.budget_bytes()
+    }
+
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Number of live operator metadata entries (leak diagnostics).
+    pub fn meta_registry_len(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// Number of registered shuffle stages (leak diagnostics).
+    pub fn shuffle_registrations(&self) -> usize {
+        self.shuffle.num_registered()
+    }
+
+    /// Virtual time elapsed across all jobs so far, nanoseconds.
+    pub fn virtual_time_ns(&self) -> u64 {
+        self.vclock.now_ns()
+    }
+
+    /// Virtual time in seconds (the unit the paper's figures use).
+    pub fn virtual_time_secs(&self) -> f64 {
+        self.vclock.now_secs()
+    }
+
+    pub fn reset_virtual_clock(&self) {
+        self.vclock.reset();
+    }
+
+    /// Replace the active fault plan.
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        *self.fault_plan.write() = Arc::new(plan);
+    }
+
+    pub(crate) fn new_op_id(&self) -> OpId {
+        OpId(self.next_op.fetch_add(1, Ordering::Relaxed))
+    }
+
+    pub(crate) fn new_shuffle_id(&self) -> ShuffleId {
+        ShuffleId(self.next_shuffle.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Deterministically place a block/bucket on an alive node.
+    pub(crate) fn node_for_block(&self, salt_a: u64, salt_b: u64) -> NodeId {
+        let alive = self.cluster.alive_nodes();
+        assert!(!alive.is_empty(), "no alive nodes left in the cluster");
+        alive[(hash_key(&(salt_a, salt_b)) % alive.len() as u64) as usize]
+    }
+
+    /// Broadcast a read-only value to all executors. Charges virtual network
+    /// time for shipping one copy per remote node, as Spark does when the
+    /// paper's Algorithm 1 broadcasts the phenotype pairs (step 6).
+    pub fn broadcast<T: EstimateSize + Send + Sync>(&self, value: T) -> Broadcast<T> {
+        let bytes = value.estimate_bytes() as u64;
+        let nodes = self.cluster.num_alive().max(1) as u64;
+        let net_bw = if self.cost_model.network_bandwidth_override > 0 {
+            self.cost_model.network_bandwidth_override
+        } else {
+            self.cluster.spec().instance.network_bandwidth
+        };
+        self.vclock
+            .advance(CostModel::transfer_ns(bytes * (nodes - 1), net_bw));
+        Metrics::bump(&self.metrics.broadcasts);
+        Metrics::add(&self.metrics.broadcast_bytes, bytes);
+        Broadcast {
+            id: self.next_broadcast.fetch_add(1, Ordering::Relaxed),
+            value: Arc::new(value),
+        }
+    }
+
+    /// Run one stage: execute `f` for every partition index in `parts` on
+    /// the host pool, then list-schedule the measured costs onto the
+    /// virtual cluster. Returns results in `parts` order.
+    pub(crate) fn run_stage<R, F>(&self, parts: &[usize], f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, &TaskCtx<'_>) -> R + Sync,
+    {
+        Metrics::bump(&self.metrics.stages);
+        if parts.is_empty() {
+            return Vec::new();
+        }
+        let n = parts.len();
+        let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+        let vtasks: Mutex<Vec<Option<VirtualTask>>> = Mutex::new((0..n).map(|_| None).collect());
+        let next = AtomicUsize::new(0);
+        let workers = self.host_threads.min(n);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let ctx = TaskCtx::new(self, parts[i]);
+                    let r = f(parts[i], &ctx);
+                    let vt = ctx.to_virtual_task(&self.cost_model);
+                    Metrics::bump(&self.metrics.tasks);
+                    results.lock()[i] = Some(r);
+                    vtasks.lock()[i] = Some(vt);
+                    self.on_task_complete();
+                });
+            }
+        });
+        let vtasks: Vec<VirtualTask> = vtasks
+            .into_inner()
+            .into_iter()
+            .map(|t| t.expect("every task produced a virtual task"))
+            .collect();
+        let outcome = self.vsched.lock().schedule(&vtasks);
+        self.vclock.advance(self.cost_model.stage_overhead_ns);
+        Metrics::add(&self.metrics.input_local_reads, outcome.local_reads as u64);
+        results
+            .into_inner()
+            .into_iter()
+            .map(|r| r.expect("every task produced a result"))
+            .collect()
+    }
+
+    /// Materialize a shuffle's missing map outputs as one parallel stage.
+    pub(crate) fn ensure_shuffle(&self, sid: ShuffleId) {
+        let missing = self.shuffle.missing_map_parts(sid);
+        if missing.is_empty() {
+            return;
+        }
+        let Some(runner) = self.shuffle.map_task_runner(sid) else {
+            return;
+        };
+        Metrics::add(&self.metrics.shuffle_map_tasks, missing.len() as u64);
+        self.run_stage(&missing, |part, ctx| runner(part, ctx));
+    }
+
+    /// Re-run one lost map task inline on the current task's thread —
+    /// lineage recovery when a reducer finds its bucket missing. The
+    /// recovery work is charged to the calling task's counters.
+    pub(crate) fn rerun_map_task_inline(&self, sid: ShuffleId, map_part: usize, ctx: &TaskCtx<'_>) {
+        if let Some(runner) = self.shuffle.map_task_runner(sid) {
+            Metrics::bump(&self.metrics.shuffle_map_reruns);
+            Metrics::bump(&self.metrics.shuffle_map_tasks);
+            runner(map_part, ctx);
+        }
+    }
+
+    /// Run a job on `target`: plan and materialize the shuffles its lineage
+    /// needs, then execute the result stage. Returns per-partition results
+    /// in order. Virtual time advances by the job's marginal makespan.
+    pub(crate) fn run_job<R, F>(&self, target: OpId, num_partitions: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, &TaskCtx<'_>) -> R + Sync,
+    {
+        Metrics::bump(&self.metrics.jobs);
+        let horizon_before = {
+            let mut sched = self.vsched.lock();
+            // Jobs are sequential on the driver: no task of this job can
+            // start before the previous job's horizon.
+            sched.barrier();
+            sched.horizon_ns()
+        };
+        for sid in self.meta.plan_shuffles(target, &self.cache) {
+            self.ensure_shuffle(sid);
+        }
+        let parts: Vec<usize> = (0..num_partitions).collect();
+        let out = self.run_stage(&parts, f);
+        let horizon_after = self.vsched.lock().horizon_ns();
+        self.vclock
+            .advance(horizon_after.saturating_sub(horizon_before));
+        out
+    }
+
+    fn on_task_complete(&self) {
+        let plan = Arc::clone(&self.fault_plan.read());
+        for event in plan.on_task_complete() {
+            self.apply_fault(event);
+        }
+    }
+
+    fn apply_fault(&self, event: FaultEvent) {
+        match event {
+            FaultEvent::KillNode(node) => {
+                if self.cluster.kill_node(node) {
+                    self.dfs.drop_node_replicas(node);
+                    self.cache.drop_node(node);
+                    self.shuffle.drop_node(node);
+                    self.vsched.lock().remove_node_checked(node);
+                }
+            }
+            FaultEvent::DropCachedBlock => {
+                self.cache.drop_lru_one();
+            }
+            FaultEvent::DropShuffleOutput => {
+                self.shuffle.drop_one();
+            }
+        }
+    }
+}
+
+/// A read-only value shipped once to every executor.
+pub struct Broadcast<T> {
+    pub id: u64,
+    value: Arc<T>,
+}
+
+impl<T> Broadcast<T> {
+    #[inline]
+    pub fn value(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> Clone for Broadcast<T> {
+    fn clone(&self) -> Self {
+        Broadcast {
+            id: self.id,
+            value: Arc::clone(&self.value),
+        }
+    }
+}
+
+/// Cleans up an operator's engine-side state when the operator is dropped
+/// (Spark's `ContextCleaner`): meta entry, cache mark + blocks, and any
+/// shuffle stages/outputs it owned.
+pub struct OpGuard {
+    engine: Weak<Engine>,
+    op: OpId,
+    shuffles: Vec<ShuffleId>,
+}
+
+impl OpGuard {
+    pub(crate) fn new(engine: &Arc<Engine>, op: OpId, shuffles: Vec<ShuffleId>) -> Self {
+        OpGuard {
+            engine: Arc::downgrade(engine),
+            op,
+            shuffles,
+        }
+    }
+}
+
+impl Drop for OpGuard {
+    fn drop(&mut self) {
+        if let Some(engine) = self.engine.upgrade() {
+            engine.meta.remove(self.op);
+            engine.cache.unmark(self.op);
+            for &sid in &self.shuffles {
+                engine.shuffle.unregister(sid);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> Arc<Engine> {
+        Engine::builder(ClusterSpec::test_small(3)).build()
+    }
+
+    #[test]
+    fn builder_defaults() {
+        let e = engine();
+        assert_eq!(e.cluster().num_nodes(), 3);
+        assert_eq!(e.layout().num_executors(), 3);
+        assert!(e.cache_budget_bytes() > 0);
+        assert_eq!(e.virtual_time_ns(), 0);
+    }
+
+    #[test]
+    fn id_allocation_is_unique() {
+        let e = engine();
+        let a = e.new_op_id();
+        let b = e.new_op_id();
+        assert_ne!(a, b);
+        assert_ne!(e.new_shuffle_id(), e.new_shuffle_id());
+    }
+
+    #[test]
+    fn run_stage_returns_in_order_and_advances_metrics() {
+        let e = engine();
+        let parts: Vec<usize> = (0..16).collect();
+        let out = e.run_stage(&parts, |p, ctx| {
+            ctx.add_work(100, 1.0);
+            p * 2
+        });
+        assert_eq!(out, (0..16).map(|p| p * 2).collect::<Vec<_>>());
+        let m = e.metrics_snapshot();
+        assert_eq!(m.tasks, 16);
+        assert_eq!(m.stages, 1);
+    }
+
+    #[test]
+    fn run_job_advances_virtual_clock() {
+        let e = engine();
+        let id = e.new_op_id();
+        e.meta.register(crate::meta::OpMeta {
+            id,
+            name: "test".into(),
+            deps: vec![],
+            num_partitions: 4,
+        });
+        let before = e.virtual_time_ns();
+        e.run_job(id, 4, |_, ctx| ctx.add_work(10_000, 1.0));
+        assert!(e.virtual_time_ns() > before);
+        assert_eq!(e.metrics_snapshot().jobs, 1);
+    }
+
+    #[test]
+    fn broadcast_charges_network_time_and_counts() {
+        let e = engine();
+        let before = e.virtual_time_ns();
+        let b = e.broadcast(vec![0u64; 1 << 16]);
+        assert_eq!(b.value().len(), 1 << 16);
+        assert!(e.virtual_time_ns() > before, "2 remote copies cost time");
+        let m = e.metrics_snapshot();
+        assert_eq!(m.broadcasts, 1);
+        assert!(m.broadcast_bytes >= (1 << 16) * 8);
+        let b2 = b.clone();
+        assert_eq!(b2.id, b.id);
+    }
+
+    #[test]
+    fn node_for_block_is_deterministic_and_alive() {
+        let e = engine();
+        let n1 = e.node_for_block(1, 2);
+        assert_eq!(n1, e.node_for_block(1, 2));
+        e.cluster().kill_node(n1);
+        let n2 = e.node_for_block(1, 2);
+        assert_ne!(n1, n2, "placement avoids dead nodes");
+    }
+
+    #[test]
+    fn fault_plan_kill_applies_everywhere() {
+        let e = engine();
+        e.set_fault_plan(FaultPlan::kill_node_after(NodeId(1), 2));
+        let parts: Vec<usize> = (0..8).collect();
+        e.run_stage(&parts, |_, _| ());
+        assert!(!e.cluster().node(NodeId(1)).is_alive());
+    }
+
+    #[test]
+    fn op_guard_cleans_registry_on_drop() {
+        let e = engine();
+        let id = e.new_op_id();
+        e.meta.register(crate::meta::OpMeta {
+            id,
+            name: "g".into(),
+            deps: vec![],
+            num_partitions: 1,
+        });
+        e.cache.mark(id);
+        let guard = OpGuard::new(&e, id, vec![]);
+        assert!(e.meta.get(id).is_some());
+        drop(guard);
+        assert!(e.meta.get(id).is_none());
+        assert!(!e.cache.is_marked(id));
+    }
+
+    #[test]
+    fn custom_cache_budget_respected() {
+        let e = Engine::builder(ClusterSpec::test_small(1))
+            .cache_budget_bytes(12345)
+            .build();
+        assert_eq!(e.cache_budget_bytes(), 12345);
+    }
+
+    #[test]
+    fn container_layout_used_when_requested() {
+        let e = Engine::builder(ClusterSpec::m3_2xlarge(4))
+            .containers(ContainerRequest::new(8, 2048, 2))
+            .build();
+        assert_eq!(e.layout().num_executors(), 8);
+        assert_eq!(e.layout().total_slots(), 16);
+    }
+
+    #[test]
+    fn empty_stage_is_fine() {
+        let e = engine();
+        let out: Vec<u32> = e.run_stage(&[], |_, _| 1u32);
+        assert!(out.is_empty());
+    }
+}

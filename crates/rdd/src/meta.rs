@@ -1,0 +1,269 @@
+//! Operator metadata, lineage, and job planning.
+//!
+//! Every dataset operator registers an [`OpMeta`] describing its parents
+//! and whether each edge crosses a shuffle. Before running a job the
+//! engine asks [`MetaRegistry::plan_shuffles`] for the shuffles that must
+//! be materialized, in dependency order — this is the DAG-scheduler step
+//! that turns a lineage graph into stages, including Spark's key
+//! optimization for the paper's Algorithm 3: a lineage subtree whose root
+//! is **fully cached** is pruned, so the expensive upstream stages (text
+//! parsing, the weights join) are skipped entirely on cache hits.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt::Write as _;
+
+use parking_lot::Mutex;
+
+use crate::cache::CacheManager;
+use crate::{OpId, ShuffleId};
+
+/// One dependency edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DepMeta {
+    pub parent: OpId,
+    /// `Some` when the edge is wide (parent feeds this op through a
+    /// shuffle); the id names the shuffle whose map side runs over the
+    /// parent.
+    pub shuffle: Option<ShuffleId>,
+}
+
+/// Metadata for one operator.
+#[derive(Debug, Clone)]
+pub struct OpMeta {
+    pub id: OpId,
+    pub name: String,
+    pub deps: Vec<DepMeta>,
+    pub num_partitions: usize,
+}
+
+/// Registry of live operators' metadata.
+#[derive(Default)]
+pub struct MetaRegistry {
+    inner: Mutex<HashMap<OpId, OpMeta>>,
+}
+
+impl MetaRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn register(&self, meta: OpMeta) {
+        self.inner.lock().insert(meta.id, meta);
+    }
+
+    /// Remove a dropped operator's entry.
+    pub fn remove(&self, id: OpId) {
+        self.inner.lock().remove(&id);
+    }
+
+    pub fn get(&self, id: OpId) -> Option<OpMeta> {
+        self.inner.lock().get(&id).cloned()
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Whether every partition of `id` is resident in the cache, making its
+    /// upstream lineage unnecessary for the next job.
+    fn fully_cached(&self, id: OpId, cache: &CacheManager) -> bool {
+        if !cache.is_marked(id) {
+            return false;
+        }
+        match self.get(id) {
+            Some(m) => cache.resident_partitions(id) == m.num_partitions && m.num_partitions > 0,
+            None => false,
+        }
+    }
+
+    /// Shuffles needed to run a job on `target`, in execution order
+    /// (upstream shuffles first). Subtrees rooted at fully-cached ops are
+    /// pruned.
+    pub fn plan_shuffles(&self, target: OpId, cache: &CacheManager) -> Vec<ShuffleId> {
+        let mut visited: HashSet<OpId> = HashSet::new();
+        let mut seen_shuffles: HashSet<ShuffleId> = HashSet::new();
+        let mut order: Vec<ShuffleId> = Vec::new();
+        self.visit(target, cache, &mut visited, &mut seen_shuffles, &mut order);
+        order
+    }
+
+    fn visit(
+        &self,
+        id: OpId,
+        cache: &CacheManager,
+        visited: &mut HashSet<OpId>,
+        seen: &mut HashSet<ShuffleId>,
+        order: &mut Vec<ShuffleId>,
+    ) {
+        if !visited.insert(id) {
+            return;
+        }
+        if self.fully_cached(id, cache) {
+            return; // Prune: this subtree will be served from the cache.
+        }
+        let Some(meta) = self.get(id) else { return };
+        for dep in &meta.deps {
+            self.visit(dep.parent, cache, visited, seen, order);
+            if let Some(sid) = dep.shuffle {
+                if seen.insert(sid) {
+                    order.push(sid);
+                }
+            }
+        }
+    }
+
+    /// Human-readable lineage tree rooted at `target` (Spark's
+    /// `toDebugString`). Cached ops are annotated with residency.
+    pub fn lineage_string(&self, target: OpId, cache: &CacheManager) -> String {
+        let mut out = String::new();
+        self.fmt_op(target, cache, 0, &mut out);
+        out
+    }
+
+    fn fmt_op(&self, id: OpId, cache: &CacheManager, depth: usize, out: &mut String) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        match self.get(id) {
+            Some(m) => {
+                let cached = if cache.is_marked(id) {
+                    format!(
+                        " [cached {}/{}]",
+                        cache.resident_partitions(id),
+                        m.num_partitions
+                    )
+                } else {
+                    String::new()
+                };
+                let _ = writeln!(out, "{} (op {}, {} parts){}", m.name, id.0, m.num_partitions, cached);
+                for dep in &m.deps {
+                    if let Some(sid) = dep.shuffle {
+                        for _ in 0..depth + 1 {
+                            out.push_str("  ");
+                        }
+                        let _ = writeln!(out, "-- shuffle {} --", sid.0);
+                    }
+                    self.fmt_op(dep.parent, cache, depth + 1, out);
+                }
+            }
+            None => {
+                let _ = writeln!(out, "<dropped op {}>", id.0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparkscore_cluster::NodeId;
+    use std::sync::Arc;
+
+    fn meta(id: u64, deps: Vec<DepMeta>, parts: usize) -> OpMeta {
+        OpMeta {
+            id: OpId(id),
+            name: format!("op{id}"),
+            deps,
+            num_partitions: parts,
+        }
+    }
+
+    fn narrow(parent: u64) -> DepMeta {
+        DepMeta {
+            parent: OpId(parent),
+            shuffle: None,
+        }
+    }
+
+    fn wide(parent: u64, sid: u64) -> DepMeta {
+        DepMeta {
+            parent: OpId(parent),
+            shuffle: Some(ShuffleId(sid)),
+        }
+    }
+
+    /// source(0) -> map(1) -> shuffle A -> reduced(2) -> map(3)
+    ///                                   -> shuffle B -> reduced(4)
+    fn chain() -> MetaRegistry {
+        let r = MetaRegistry::new();
+        r.register(meta(0, vec![], 4));
+        r.register(meta(1, vec![narrow(0)], 4));
+        r.register(meta(2, vec![wide(1, 10)], 2));
+        r.register(meta(3, vec![narrow(2)], 2));
+        r.register(meta(4, vec![wide(3, 11)], 2));
+        r
+    }
+
+    #[test]
+    fn plans_shuffles_in_dependency_order() {
+        let r = chain();
+        let cache = CacheManager::new(1 << 20);
+        assert_eq!(
+            r.plan_shuffles(OpId(4), &cache),
+            vec![ShuffleId(10), ShuffleId(11)]
+        );
+        assert_eq!(r.plan_shuffles(OpId(3), &cache), vec![ShuffleId(10)]);
+        assert!(r.plan_shuffles(OpId(1), &cache).is_empty());
+    }
+
+    #[test]
+    fn fully_cached_op_prunes_upstream_shuffles() {
+        let r = chain();
+        let cache = CacheManager::new(1 << 20);
+        cache.mark(OpId(3));
+        cache.put(OpId(3), 0, Arc::new(vec![0u8]), NodeId(0));
+        cache.put(OpId(3), 1, Arc::new(vec![0u8]), NodeId(0));
+        // op3 fully cached (2/2): shuffle 10 pruned, only 11 remains.
+        assert_eq!(r.plan_shuffles(OpId(4), &cache), vec![ShuffleId(11)]);
+    }
+
+    #[test]
+    fn partially_cached_op_does_not_prune() {
+        let r = chain();
+        let cache = CacheManager::new(1 << 20);
+        cache.mark(OpId(3));
+        cache.put(OpId(3), 0, Arc::new(vec![0u8]), NodeId(0));
+        assert_eq!(
+            r.plan_shuffles(OpId(4), &cache),
+            vec![ShuffleId(10), ShuffleId(11)]
+        );
+    }
+
+    #[test]
+    fn diamond_dependencies_dedup_shuffles() {
+        // 0 -> shuffle 5 -> 1; two children 2, 3 of 1; 4 joins them narrowly.
+        let r = MetaRegistry::new();
+        r.register(meta(0, vec![], 2));
+        r.register(meta(1, vec![wide(0, 5)], 2));
+        r.register(meta(2, vec![narrow(1)], 2));
+        r.register(meta(3, vec![narrow(1)], 2));
+        r.register(meta(4, vec![narrow(2), narrow(3)], 2));
+        let cache = CacheManager::new(1 << 20);
+        assert_eq!(r.plan_shuffles(OpId(4), &cache), vec![ShuffleId(5)]);
+    }
+
+    #[test]
+    fn remove_forgets_op() {
+        let r = chain();
+        assert_eq!(r.len(), 5);
+        r.remove(OpId(4));
+        assert_eq!(r.len(), 4);
+        assert!(r.get(OpId(4)).is_none());
+    }
+
+    #[test]
+    fn lineage_string_shows_structure() {
+        let r = chain();
+        let cache = CacheManager::new(1 << 20);
+        cache.mark(OpId(3));
+        let s = r.lineage_string(OpId(4), &cache);
+        assert!(s.contains("op4"));
+        assert!(s.contains("-- shuffle 11 --"));
+        assert!(s.contains("[cached 0/2]"));
+        assert!(s.contains("op0"));
+    }
+}

@@ -1,0 +1,172 @@
+//! Engine execution metrics.
+//!
+//! Counters the tests and benchmark harnesses assert on: cache behaviour
+//! (hits prove Algorithm 3's reuse of the `U` RDD), recomputation (proves
+//! lineage recovery actually ran), shuffle volumes, and task/stage/job
+//! counts. All counters are relaxed atomics — they are statistics, not
+//! synchronization.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live counters owned by the engine.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    pub jobs: AtomicU64,
+    pub stages: AtomicU64,
+    pub tasks: AtomicU64,
+    pub cache_hits: AtomicU64,
+    pub cache_misses: AtomicU64,
+    pub cache_evictions: AtomicU64,
+    /// Partitions recomputed after having been cached and lost.
+    pub recomputed_partitions: AtomicU64,
+    /// Map tasks re-run because their shuffle output went missing.
+    pub shuffle_map_reruns: AtomicU64,
+    pub shuffle_map_tasks: AtomicU64,
+    pub shuffle_bytes_written: AtomicU64,
+    pub shuffle_bytes_read: AtomicU64,
+    pub input_bytes: AtomicU64,
+    pub input_local_reads: AtomicU64,
+    pub broadcasts: AtomicU64,
+    pub broadcast_bytes: AtomicU64,
+}
+
+/// A point-in-time copy of [`Metrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    pub jobs: u64,
+    pub stages: u64,
+    pub tasks: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub cache_evictions: u64,
+    pub recomputed_partitions: u64,
+    pub shuffle_map_reruns: u64,
+    pub shuffle_map_tasks: u64,
+    pub shuffle_bytes_written: u64,
+    pub shuffle_bytes_read: u64,
+    pub input_bytes: u64,
+    pub input_local_reads: u64,
+    pub broadcasts: u64,
+    pub broadcast_bytes: u64,
+}
+
+impl Metrics {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn bump(counter: &AtomicU64) {
+        Self::add(counter, 1);
+    }
+
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            jobs: g(&self.jobs),
+            stages: g(&self.stages),
+            tasks: g(&self.tasks),
+            cache_hits: g(&self.cache_hits),
+            cache_misses: g(&self.cache_misses),
+            cache_evictions: g(&self.cache_evictions),
+            recomputed_partitions: g(&self.recomputed_partitions),
+            shuffle_map_reruns: g(&self.shuffle_map_reruns),
+            shuffle_map_tasks: g(&self.shuffle_map_tasks),
+            shuffle_bytes_written: g(&self.shuffle_bytes_written),
+            shuffle_bytes_read: g(&self.shuffle_bytes_read),
+            input_bytes: g(&self.input_bytes),
+            input_local_reads: g(&self.input_local_reads),
+            broadcasts: g(&self.broadcasts),
+            broadcast_bytes: g(&self.broadcast_bytes),
+        }
+    }
+}
+
+impl MetricsSnapshot {
+    /// Difference `self - earlier`, saturating (counters are monotonic, so
+    /// saturation only matters if snapshots are passed in the wrong order).
+    pub fn delta_since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            jobs: self.jobs.saturating_sub(earlier.jobs),
+            stages: self.stages.saturating_sub(earlier.stages),
+            tasks: self.tasks.saturating_sub(earlier.tasks),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
+            cache_evictions: self.cache_evictions.saturating_sub(earlier.cache_evictions),
+            recomputed_partitions: self
+                .recomputed_partitions
+                .saturating_sub(earlier.recomputed_partitions),
+            shuffle_map_reruns: self
+                .shuffle_map_reruns
+                .saturating_sub(earlier.shuffle_map_reruns),
+            shuffle_map_tasks: self.shuffle_map_tasks.saturating_sub(earlier.shuffle_map_tasks),
+            shuffle_bytes_written: self
+                .shuffle_bytes_written
+                .saturating_sub(earlier.shuffle_bytes_written),
+            shuffle_bytes_read: self
+                .shuffle_bytes_read
+                .saturating_sub(earlier.shuffle_bytes_read),
+            input_bytes: self.input_bytes.saturating_sub(earlier.input_bytes),
+            input_local_reads: self
+                .input_local_reads
+                .saturating_sub(earlier.input_local_reads),
+            broadcasts: self.broadcasts.saturating_sub(earlier.broadcasts),
+            broadcast_bytes: self.broadcast_bytes.saturating_sub(earlier.broadcast_bytes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let m = Metrics::new();
+        Metrics::bump(&m.jobs);
+        Metrics::add(&m.tasks, 5);
+        let s = m.snapshot();
+        assert_eq!(s.jobs, 1);
+        assert_eq!(s.tasks, 5);
+        assert_eq!(s.cache_hits, 0);
+    }
+
+    #[test]
+    fn delta_subtracts() {
+        let m = Metrics::new();
+        Metrics::add(&m.tasks, 3);
+        let before = m.snapshot();
+        Metrics::add(&m.tasks, 4);
+        Metrics::bump(&m.cache_hits);
+        let after = m.snapshot();
+        let d = after.delta_since(&before);
+        assert_eq!(d.tasks, 4);
+        assert_eq!(d.cache_hits, 1);
+        assert_eq!(d.jobs, 0);
+    }
+
+    #[test]
+    fn concurrent_bumps_are_not_lost() {
+        use std::sync::Arc;
+        let m = Arc::new(Metrics::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        Metrics::bump(&m.tasks);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.snapshot().tasks, 8000);
+    }
+}

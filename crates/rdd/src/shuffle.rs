@@ -1,0 +1,321 @@
+//! Shuffle storage and key hashing.
+//!
+//! Wide transformations (`reduce_by_key`, `group_by_key`, `join`, …) cut
+//! the lineage into stages. Map-side tasks hash-partition their records
+//! into one bucket per reduce partition and register the buckets here —
+//! the analogue of Spark's shuffle files, which outlive the map stage so
+//! reducers (and recovery) can fetch them. Buckets are type-erased; the
+//! typed shuffle operators in [`crate::ops`] downcast on read.
+//!
+//! Hashing is deterministic (`SipHash` with fixed keys via
+//! [`DefaultHasher::new`]) so partition assignment — and therefore every
+//! result that depends on it — is reproducible across runs and machines.
+
+use std::any::Any;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sparkscore_cluster::NodeId;
+
+use crate::context::TaskCtx;
+use crate::ShuffleId;
+
+/// Deterministic hash map used for combine/co-group tables so that output
+/// ordering is a pure function of the input.
+pub type DetHashMap<K, V> = HashMap<K, V, BuildHasherDefault<DefaultHasher>>;
+
+/// Deterministic 64-bit hash of a key.
+#[inline]
+pub fn hash_key<K: Hash + ?Sized>(key: &K) -> u64 {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    h.finish()
+}
+
+/// Assigns keys to reduce partitions by hash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HashPartitioner {
+    parts: usize,
+}
+
+impl HashPartitioner {
+    pub fn new(parts: usize) -> Self {
+        assert!(parts > 0, "partitioner needs at least one partition");
+        HashPartitioner { parts }
+    }
+
+    #[inline]
+    pub fn num_partitions(&self) -> usize {
+        self.parts
+    }
+
+    #[inline]
+    pub fn partition<K: Hash + ?Sized>(&self, key: &K) -> usize {
+        (hash_key(key) % self.parts as u64) as usize
+    }
+}
+
+/// One map task's output: a bucket per reduce partition, resident on the
+/// virtual node that ran the task.
+struct MapOutput {
+    buckets: Vec<Bucket>,
+    node: NodeId,
+}
+
+/// Type-erased shuffle bucket.
+pub struct Bucket {
+    pub data: Arc<dyn Any + Send + Sync>,
+    pub bytes: u64,
+}
+
+impl Clone for Bucket {
+    fn clone(&self) -> Self {
+        Bucket {
+            data: Arc::clone(&self.data),
+            bytes: self.bytes,
+        }
+    }
+}
+
+/// Type-erased description of how to (re)run one shuffle's map side.
+pub struct ShuffleStage {
+    pub num_map_parts: usize,
+    pub num_reduce_parts: usize,
+    /// Runs map task `map_part`, storing its output in the manager.
+    pub run_map_task: Arc<dyn Fn(usize, &TaskCtx<'_>) + Send + Sync>,
+}
+
+#[derive(Default)]
+struct ShuffleInner {
+    stages: HashMap<ShuffleId, ShuffleStage>,
+    outputs: HashMap<(ShuffleId, usize), MapOutput>,
+}
+
+/// Registry of shuffle stages and their map outputs.
+#[derive(Default)]
+pub struct ShuffleManager {
+    inner: Mutex<ShuffleInner>,
+}
+
+impl ShuffleManager {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn register(&self, sid: ShuffleId, stage: ShuffleStage) {
+        self.inner.lock().stages.insert(sid, stage);
+    }
+
+    /// Drop the stage and all its outputs (called when the shuffle's
+    /// operator is dropped — Spark's `ContextCleaner` equivalent).
+    pub fn unregister(&self, sid: ShuffleId) {
+        let mut g = self.inner.lock();
+        g.stages.remove(&sid);
+        g.outputs.retain(|(s, _), _| *s != sid);
+    }
+
+    pub fn stage_shape(&self, sid: ShuffleId) -> Option<(usize, usize)> {
+        self.inner
+            .lock()
+            .stages
+            .get(&sid)
+            .map(|s| (s.num_map_parts, s.num_reduce_parts))
+    }
+
+    pub fn map_task_runner(
+        &self,
+        sid: ShuffleId,
+    ) -> Option<Arc<dyn Fn(usize, &TaskCtx<'_>) + Send + Sync>> {
+        self.inner
+            .lock()
+            .stages
+            .get(&sid)
+            .map(|s| Arc::clone(&s.run_map_task))
+    }
+
+    /// Map partitions whose output is currently absent.
+    pub fn missing_map_parts(&self, sid: ShuffleId) -> Vec<usize> {
+        let g = self.inner.lock();
+        let Some(stage) = g.stages.get(&sid) else {
+            return Vec::new();
+        };
+        (0..stage.num_map_parts)
+            .filter(|&m| !g.outputs.contains_key(&(sid, m)))
+            .collect()
+    }
+
+    pub fn has_map_output(&self, sid: ShuffleId, map_part: usize) -> bool {
+        self.inner.lock().outputs.contains_key(&(sid, map_part))
+    }
+
+    /// Store one map task's buckets (one per reduce partition).
+    pub fn put_map_output(
+        &self,
+        sid: ShuffleId,
+        map_part: usize,
+        buckets: Vec<Bucket>,
+        node: NodeId,
+    ) {
+        self.inner
+            .lock()
+            .outputs
+            .insert((sid, map_part), MapOutput { buckets, node });
+    }
+
+    /// Fetch one bucket; `None` if the map output is missing (lost or not
+    /// yet produced) — the caller must re-run the map task.
+    pub fn get_bucket(&self, sid: ShuffleId, map_part: usize, reduce_part: usize) -> Option<Bucket> {
+        self.inner
+            .lock()
+            .outputs
+            .get(&(sid, map_part))
+            .map(|o| o.buckets[reduce_part].clone())
+    }
+
+    /// Drop every map output resident on `node`. Returns how many.
+    pub fn drop_node(&self, node: NodeId) -> usize {
+        let mut g = self.inner.lock();
+        let before = g.outputs.len();
+        g.outputs.retain(|_, o| o.node != node);
+        before - g.outputs.len()
+    }
+
+    /// Drop one arbitrary map output (fault injection). Deterministic
+    /// choice: the smallest `(sid, map_part)` key.
+    pub fn drop_one(&self) -> bool {
+        let mut g = self.inner.lock();
+        let victim = g.outputs.keys().min().copied();
+        if let Some(k) = victim {
+            g.outputs.remove(&k);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Total bytes held across all buckets (diagnostics).
+    pub fn stored_bytes(&self) -> u64 {
+        self.inner
+            .lock()
+            .outputs
+            .values()
+            .flat_map(|o| o.buckets.iter().map(|b| b.bytes))
+            .sum()
+    }
+
+    /// Number of registered stages (diagnostics / leak tests).
+    pub fn num_registered(&self) -> usize {
+        self.inner.lock().stages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bucket(v: Vec<u32>) -> Bucket {
+        let bytes = (v.len() * 4) as u64;
+        Bucket {
+            data: Arc::new(v),
+            bytes,
+        }
+    }
+
+    fn stage(maps: usize, reduces: usize) -> ShuffleStage {
+        ShuffleStage {
+            num_map_parts: maps,
+            num_reduce_parts: reduces,
+            run_map_task: Arc::new(|_, _| {}),
+        }
+    }
+
+    #[test]
+    fn partitioner_is_deterministic_and_in_range() {
+        let p = HashPartitioner::new(7);
+        for key in 0..1000u64 {
+            let a = p.partition(&key);
+            assert_eq!(a, p.partition(&key));
+            assert!(a < 7);
+        }
+    }
+
+    #[test]
+    fn partitioner_spreads_keys() {
+        let p = HashPartitioner::new(4);
+        let mut counts = [0usize; 4];
+        for key in 0..1000u64 {
+            counts[p.partition(&key)] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 100, "severely skewed partitioning: {counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one partition")]
+    fn zero_partitions_panics() {
+        let _ = HashPartitioner::new(0);
+    }
+
+    #[test]
+    fn missing_then_present() {
+        let m = ShuffleManager::new();
+        let sid = ShuffleId(1);
+        m.register(sid, stage(3, 2));
+        assert_eq!(m.missing_map_parts(sid), vec![0, 1, 2]);
+        m.put_map_output(sid, 1, vec![bucket(vec![1]), bucket(vec![2])], NodeId(0));
+        assert_eq!(m.missing_map_parts(sid), vec![0, 2]);
+        assert!(m.has_map_output(sid, 1));
+        let b = m.get_bucket(sid, 1, 0).unwrap();
+        assert_eq!(&**b.data.downcast::<Vec<u32>>().unwrap(), &vec![1]);
+        assert!(m.get_bucket(sid, 0, 0).is_none());
+    }
+
+    #[test]
+    fn unregister_drops_outputs() {
+        let m = ShuffleManager::new();
+        let sid = ShuffleId(1);
+        m.register(sid, stage(1, 1));
+        m.put_map_output(sid, 0, vec![bucket(vec![1])], NodeId(0));
+        m.unregister(sid);
+        assert_eq!(m.num_registered(), 0);
+        assert_eq!(m.stored_bytes(), 0);
+        assert!(m.missing_map_parts(sid).is_empty(), "unknown shuffle has no parts");
+    }
+
+    #[test]
+    fn drop_node_loses_its_outputs_only() {
+        let m = ShuffleManager::new();
+        let sid = ShuffleId(1);
+        m.register(sid, stage(2, 1));
+        m.put_map_output(sid, 0, vec![bucket(vec![1])], NodeId(0));
+        m.put_map_output(sid, 1, vec![bucket(vec![2])], NodeId(1));
+        assert_eq!(m.drop_node(NodeId(0)), 1);
+        assert_eq!(m.missing_map_parts(sid), vec![0]);
+    }
+
+    #[test]
+    fn drop_one_is_deterministic() {
+        let m = ShuffleManager::new();
+        let sid = ShuffleId(1);
+        m.register(sid, stage(2, 1));
+        m.put_map_output(sid, 0, vec![bucket(vec![1])], NodeId(0));
+        m.put_map_output(sid, 1, vec![bucket(vec![2])], NodeId(0));
+        assert!(m.drop_one());
+        assert_eq!(m.missing_map_parts(sid), vec![0], "smallest key dropped first");
+        assert!(m.drop_one());
+        assert!(!m.drop_one());
+    }
+
+    #[test]
+    fn stored_bytes_sums_buckets() {
+        let m = ShuffleManager::new();
+        let sid = ShuffleId(1);
+        m.register(sid, stage(1, 2));
+        m.put_map_output(sid, 0, vec![bucket(vec![1, 2]), bucket(vec![3])], NodeId(0));
+        assert_eq!(m.stored_bytes(), 12);
+    }
+}

@@ -1,0 +1,133 @@
+//! Empirical p-values from resampling replicates.
+//!
+//! "The smaller the proportion of resampling statistics found to be greater
+//! than the observed statistic, the stronger the evidence" — the p-value of
+//! set `k` is the fraction of replicates with `S̃_k ≥ S_k`. We use the
+//! add-one (Davison–Hinkley) estimator `(#{S̃ ≥ S} + 1)/(B + 1)`, which is
+//! never exactly zero and is valid as a p-value. The Westfall–Young
+//! max-statistic procedure (the paper's reference [40]) gives family-wise
+//! error control across the K sets from the same replicates.
+
+/// Add-one empirical p-value from the count of replicates at least as
+/// extreme as the observed statistic.
+pub fn empirical_pvalue(count_ge: usize, num_replicates: usize) -> f64 {
+    assert!(
+        count_ge <= num_replicates,
+        "count ({count_ge}) cannot exceed replicates ({num_replicates})"
+    );
+    (count_ge + 1) as f64 / (num_replicates + 1) as f64
+}
+
+/// Per-set p-values from full replicate matrices: `replicates[b][k]` is
+/// set `k`'s statistic in replicate `b`.
+pub fn empirical_pvalues(observed: &[f64], replicates: &[Vec<f64>]) -> Vec<f64> {
+    let b = replicates.len();
+    observed
+        .iter()
+        .enumerate()
+        .map(|(k, &s)| {
+            let count = replicates
+                .iter()
+                .filter(|rep| {
+                    assert_eq!(rep.len(), observed.len(), "replicate width mismatch");
+                    rep[k] >= s
+                })
+                .count();
+            empirical_pvalue(count, b)
+        })
+        .collect()
+}
+
+/// Westfall–Young single-step max-T adjusted p-values:
+/// `p̃_k = (#{b : max_j S̃_bj ≥ S_k} + 1)/(B + 1)`.
+///
+/// Controls the family-wise error rate under the complete null, using the
+/// same replicates as the marginal p-values.
+pub fn westfall_young_adjusted(observed: &[f64], replicates: &[Vec<f64>]) -> Vec<f64> {
+    let maxima: Vec<f64> = replicates
+        .iter()
+        .map(|rep| {
+            assert_eq!(rep.len(), observed.len(), "replicate width mismatch");
+            rep.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        })
+        .collect();
+    let b = maxima.len();
+    observed
+        .iter()
+        .map(|&s| {
+            let count = maxima.iter().filter(|&&m| m >= s).count();
+            empirical_pvalue(count, b)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn add_one_estimator() {
+        assert_eq!(empirical_pvalue(0, 99), 0.01);
+        assert_eq!(empirical_pvalue(99, 99), 1.0);
+        assert_eq!(empirical_pvalue(4, 9), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed")]
+    fn count_bounds_checked() {
+        let _ = empirical_pvalue(5, 4);
+    }
+
+    #[test]
+    fn pvalues_from_replicates() {
+        let observed = vec![10.0, 0.0];
+        let reps = vec![vec![1.0, 1.0], vec![2.0, 2.0], vec![11.0, 0.0]];
+        let p = empirical_pvalues(&observed, &reps);
+        // Set 0: one replicate >= 10 → (1+1)/4. Set 1: all >= 0 → 4/4.
+        assert_eq!(p, vec![0.5, 1.0]);
+    }
+
+    #[test]
+    fn westfall_young_dominates_marginal() {
+        let observed = vec![5.0, 2.0, 8.0];
+        let reps: Vec<Vec<f64>> = (0..50)
+            .map(|b| vec![(b % 7) as f64, (b % 5) as f64, (b % 9) as f64])
+            .collect();
+        let marginal = empirical_pvalues(&observed, &reps);
+        let adjusted = westfall_young_adjusted(&observed, &reps);
+        for (m, a) in marginal.iter().zip(&adjusted) {
+            assert!(a >= m, "adjusted {a} must be >= marginal {m}");
+        }
+    }
+
+    proptest! {
+        /// p-values lie in (0, 1] and are antitone in the observed value.
+        #[test]
+        fn prop_pvalue_bounds_and_monotonicity(
+            reps in proptest::collection::vec(
+                proptest::collection::vec(0.0f64..10.0, 3..=3), 1..40),
+            s in 0.0f64..10.0,
+        ) {
+            let p_lo = empirical_pvalues(&[s, s, s], &reps);
+            let p_hi = empirical_pvalues(&[s + 1.0, s + 1.0, s + 1.0], &reps);
+            for (lo, hi) in p_lo.iter().zip(&p_hi) {
+                prop_assert!(*lo > 0.0 && *lo <= 1.0);
+                prop_assert!(hi <= lo, "larger statistic can't raise the p-value");
+            }
+        }
+
+        /// Adjusted p-values are monotone in the observed statistic too.
+        #[test]
+        fn prop_wy_bounds(
+            reps in proptest::collection::vec(
+                proptest::collection::vec(-5.0f64..5.0, 2..=2), 1..30),
+            observed in proptest::collection::vec(-5.0f64..5.0, 2..=2),
+        ) {
+            let adj = westfall_young_adjusted(&observed, &reps);
+            for a in adj {
+                prop_assert!(a > 0.0 && a <= 1.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Genotype quality control.
+//!
+//! Real GWAS pipelines (the paper's references [3], [10], [12]) filter
+//! variants before inference: minor-allele frequency, completeness, and
+//! Hardy–Weinberg equilibrium. These utilities operate on the same
+//! dosage-vector representation the rest of the stack uses and feed the
+//! SKAT weight schemes (Beta(MAF) weights need MAF estimates).
+
+use crate::dist::chi2_sf;
+
+/// Genotype counts for one SNP: carriers of 0, 1, and 2 minor alleles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GenotypeCounts {
+    pub homozygous_ref: usize,
+    pub heterozygous: usize,
+    pub homozygous_alt: usize,
+}
+
+impl GenotypeCounts {
+    /// Count dosages (values above 2 are a caller bug and panic).
+    pub fn from_dosages(g: &[u8]) -> Self {
+        let mut c = GenotypeCounts::default();
+        for &d in g {
+            match d {
+                0 => c.homozygous_ref += 1,
+                1 => c.heterozygous += 1,
+                2 => c.homozygous_alt += 1,
+                other => panic!("invalid dosage {other}"),
+            }
+        }
+        c
+    }
+
+    pub fn total(&self) -> usize {
+        self.homozygous_ref + self.heterozygous + self.homozygous_alt
+    }
+
+    /// Allele frequency of the alternate allele.
+    pub fn alt_allele_frequency(&self) -> f64 {
+        let n = self.total();
+        assert!(n > 0, "no genotypes");
+        (self.heterozygous + 2 * self.homozygous_alt) as f64 / (2 * n) as f64
+    }
+
+    /// Minor-allele frequency: `min(p, 1 − p)` of the alternate allele.
+    pub fn minor_allele_frequency(&self) -> f64 {
+        let p = self.alt_allele_frequency();
+        p.min(1.0 - p)
+    }
+
+    /// Pearson χ²₁ test of Hardy–Weinberg equilibrium. Returns the
+    /// p-value; monomorphic SNPs return 1.0 (no departure measurable).
+    pub fn hardy_weinberg_pvalue(&self) -> f64 {
+        let n = self.total() as f64;
+        assert!(n > 0.0, "no genotypes");
+        let p = self.alt_allele_frequency();
+        let q = 1.0 - p;
+        if p == 0.0 || q == 0.0 {
+            return 1.0;
+        }
+        let expected = [n * q * q, 2.0 * n * p * q, n * p * p];
+        let observed = [
+            self.homozygous_ref as f64,
+            self.heterozygous as f64,
+            self.homozygous_alt as f64,
+        ];
+        let chi2: f64 = observed
+            .iter()
+            .zip(&expected)
+            .map(|(o, e)| (o - e) * (o - e) / e)
+            .sum();
+        // One degree of freedom: three cells, two constraints (total and
+        // allele frequency estimated from the data).
+        chi2_sf(chi2, 1.0)
+    }
+}
+
+/// Why a SNP fails QC.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QcFailure {
+    /// MAF below the threshold.
+    RareVariant { maf: f64 },
+    /// Monomorphic: zero variance, score statistics degenerate.
+    Monomorphic,
+    /// Hardy–Weinberg departure beyond the p-value threshold (often a
+    /// genotyping artifact).
+    HardyWeinberg { pvalue: f64 },
+}
+
+/// QC thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QcThresholds {
+    /// Minimum minor-allele frequency (common GWAS default: 0.01–0.05).
+    pub min_maf: f64,
+    /// Minimum HWE p-value (common default: 1e-6).
+    pub min_hwe_pvalue: f64,
+}
+
+impl Default for QcThresholds {
+    fn default() -> Self {
+        QcThresholds {
+            min_maf: 0.01,
+            min_hwe_pvalue: 1e-6,
+        }
+    }
+}
+
+/// Check one SNP's dosage vector against the thresholds.
+pub fn check_snp(g: &[u8], thresholds: &QcThresholds) -> Result<GenotypeCounts, QcFailure> {
+    let counts = GenotypeCounts::from_dosages(g);
+    let maf = counts.minor_allele_frequency();
+    if maf == 0.0 {
+        return Err(QcFailure::Monomorphic);
+    }
+    if maf < thresholds.min_maf {
+        return Err(QcFailure::RareVariant { maf });
+    }
+    let hwe = counts.hardy_weinberg_pvalue();
+    if hwe < thresholds.min_hwe_pvalue {
+        return Err(QcFailure::HardyWeinberg { pvalue: hwe });
+    }
+    Ok(counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::sample_genotype;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn counts_and_frequencies() {
+        // 4 ref-hom, 4 het, 2 alt-hom: alt freq = (4 + 4)/20 = 0.4.
+        let g = [0, 0, 0, 0, 1, 1, 1, 1, 2, 2];
+        let c = GenotypeCounts::from_dosages(&g);
+        assert_eq!(c.total(), 10);
+        assert!((c.alt_allele_frequency() - 0.4).abs() < 1e-12);
+        assert!((c.minor_allele_frequency() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn maf_folds_major_allele() {
+        let g = [2u8; 9]; // alt freq 1.0 → MAF 0.
+        let c = GenotypeCounts::from_dosages(&g);
+        assert_eq!(c.minor_allele_frequency(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid dosage")]
+    fn bad_dosage_panics() {
+        let _ = GenotypeCounts::from_dosages(&[0, 3]);
+    }
+
+    #[test]
+    fn hwe_equilibrium_data_passes() {
+        // Generate genotypes under exact HWE sampling: p-values should be
+        // comfortably large for a big sample at ρ = 0.3.
+        let mut rng = StdRng::seed_from_u64(4);
+        let g: Vec<u8> = (0..20_000).map(|_| sample_genotype(&mut rng, 0.3)).collect();
+        let c = GenotypeCounts::from_dosages(&g);
+        assert!(
+            c.hardy_weinberg_pvalue() > 0.001,
+            "HWE data must not be rejected: p = {}",
+            c.hardy_weinberg_pvalue()
+        );
+    }
+
+    #[test]
+    fn hwe_detects_heterozygote_deficit() {
+        // Extreme inbreeding-like data: only homozygotes at p = 0.5.
+        let counts = GenotypeCounts {
+            homozygous_ref: 500,
+            heterozygous: 0,
+            homozygous_alt: 500,
+        };
+        assert!(counts.hardy_weinberg_pvalue() < 1e-10);
+    }
+
+    #[test]
+    fn hwe_monomorphic_is_vacuous() {
+        let c = GenotypeCounts::from_dosages(&[0u8; 50]);
+        assert_eq!(c.hardy_weinberg_pvalue(), 1.0);
+    }
+
+    #[test]
+    fn check_snp_classifies_failures() {
+        let thresholds = QcThresholds::default();
+        assert!(matches!(
+            check_snp(&[0u8; 100], &thresholds),
+            Err(QcFailure::Monomorphic)
+        ));
+        // One het in 200 patients: MAF = 1/400 < 0.01.
+        let mut rare = vec![0u8; 200];
+        rare[0] = 1;
+        assert!(matches!(
+            check_snp(&rare, &thresholds),
+            Err(QcFailure::RareVariant { .. })
+        ));
+        // Clean common variant passes.
+        let mut rng = StdRng::seed_from_u64(9);
+        let good: Vec<u8> = (0..500).map(|_| sample_genotype(&mut rng, 0.25)).collect();
+        assert!(check_snp(&good, &thresholds).is_ok());
+        // All-het data at p=0.5 violates HWE strongly.
+        let het = vec![1u8; 1000];
+        assert!(matches!(
+            check_snp(&het, &thresholds),
+            Err(QcFailure::HardyWeinberg { .. })
+        ));
+    }
+
+    #[test]
+    fn hwe_pvalue_roughly_uniform_under_null() {
+        // Type-I calibration: across many null SNPs, ~5% rejected at 0.05.
+        let mut rng = StdRng::seed_from_u64(13);
+        let trials = 400;
+        let rejected = (0..trials)
+            .filter(|_| {
+                let g: Vec<u8> = (0..400).map(|_| sample_genotype(&mut rng, 0.3)).collect();
+                GenotypeCounts::from_dosages(&g).hardy_weinberg_pvalue() < 0.05
+            })
+            .count();
+        let rate = rejected as f64 / trials as f64;
+        assert!(
+            (0.01..=0.10).contains(&rate),
+            "HWE test must be calibrated: rejection rate {rate}"
+        );
+    }
+}

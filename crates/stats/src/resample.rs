@@ -1,0 +1,315 @@
+//! Resampling inference — sequential reference implementations.
+//!
+//! These are the single-machine analogues of the paper's Algorithms 1
+//! (observed SKAT), 2 (permutation resampling), and 3 (Lin's Monte Carlo
+//! multiplier resampling). The distributed pipelines in `sparkscore-core`
+//! are cross-checked against these oracles in the integration tests; they
+//! are also useful in their own right for laptop-scale analyses.
+//!
+//! * **Permutation** (Westfall & Young): shuffle the phenotype pairs
+//!   `(Y_i, Δ_i)` among patients and recompute *everything* per replicate.
+//! * **Monte Carlo** (Lin 2005): draw `Z_i ~ N(0,1)` and perturb the
+//!   *observed* contributions, `Ũ_j = Σ_i Z_i U_ij` — no recomputation of
+//!   the score contributions, which is what makes RDD caching so effective.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::dist::sample_standard_normal;
+use crate::pvalue::empirical_pvalue;
+use crate::score::ScoreModel;
+use crate::skat::{skat_all, SnpSet};
+
+/// A full resampling analysis result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResamplingResult {
+    /// Observed SKAT statistic per set (the paper's `S_k⁰`).
+    pub observed: Vec<f64>,
+    /// Per-set count of replicates with `S̃_k ≥ S_k⁰` (`counter_k`).
+    pub counts_ge: Vec<usize>,
+    /// Number of replicates `B`.
+    pub num_replicates: usize,
+}
+
+impl ResamplingResult {
+    /// Add-one empirical p-values per set.
+    pub fn pvalues(&self) -> Vec<f64> {
+        self.counts_ge
+            .iter()
+            .map(|&c| empirical_pvalue(c, self.num_replicates))
+            .collect()
+    }
+}
+
+/// Draw a uniformly random permutation of `0..n`.
+pub fn random_permutation<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..n).collect();
+    perm.shuffle(rng);
+    perm
+}
+
+/// Draw `n` Monte Carlo multipliers `Z_i ~ N(0, 1)`.
+pub fn mc_weights<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<f64> {
+    (0..n).map(|_| sample_standard_normal(rng)).collect()
+}
+
+/// Observed per-SNP scores `U_j` (Algorithm 1's marginal pass).
+pub fn observed_scores<M: ScoreModel>(model: &M, genotype_rows: &[Vec<u8>]) -> Vec<f64> {
+    genotype_rows.iter().map(|g| model.score(g)).collect()
+}
+
+/// Observed SKAT statistics per set (Algorithm 1 end-to-end).
+pub fn observed_skat<M: ScoreModel>(
+    model: &M,
+    genotype_rows: &[Vec<u8>],
+    weights: &[f64],
+    sets: &[SnpSet],
+) -> Vec<f64> {
+    let scores = observed_scores(model, genotype_rows);
+    skat_all(&scores, weights, sets)
+}
+
+/// Algorithm 3 (Monte Carlo): perturb the observed contributions with
+/// standard-normal multipliers for `B` replicates.
+pub fn monte_carlo<M: ScoreModel>(
+    model: &M,
+    genotype_rows: &[Vec<u8>],
+    weights: &[f64],
+    sets: &[SnpSet],
+    num_replicates: usize,
+    seed: u64,
+) -> ResamplingResult {
+    let n = model.num_patients();
+    // The "cached U RDD": per-SNP per-patient contributions, computed once.
+    let contribs: Vec<Vec<f64>> = genotype_rows.iter().map(|g| model.contributions(g)).collect();
+    let scores: Vec<f64> = contribs.iter().map(|c| c.iter().sum()).collect();
+    let observed = skat_all(&scores, weights, sets);
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut counts = vec![0usize; sets.len()];
+    let mut perturbed = vec![0.0f64; genotype_rows.len()];
+    for _ in 0..num_replicates {
+        let z = mc_weights(&mut rng, n);
+        for (j, c) in contribs.iter().enumerate() {
+            perturbed[j] = c.iter().zip(&z).map(|(u, zi)| u * zi).sum();
+        }
+        let replicate = skat_all(&perturbed, weights, sets);
+        for (k, (&rep, &obs)) in replicate.iter().zip(&observed).enumerate() {
+            if rep >= obs {
+                counts[k] += 1;
+            }
+        }
+    }
+    ResamplingResult {
+        observed,
+        counts_ge: counts,
+        num_replicates,
+    }
+}
+
+/// Algorithm 2 (permutation): shuffle the phenotype pairs and recompute the
+/// full score pass per replicate. `rebuild(perm)` must return the model for
+/// the shuffled phenotypes (e.g. [`crate::score::CoxScore::permuted`]).
+pub fn permutation<M, F>(
+    model: &M,
+    rebuild: F,
+    genotype_rows: &[Vec<u8>],
+    weights: &[f64],
+    sets: &[SnpSet],
+    num_replicates: usize,
+    seed: u64,
+) -> ResamplingResult
+where
+    M: ScoreModel,
+    F: Fn(&[usize]) -> M,
+{
+    let n = model.num_patients();
+    let observed = observed_skat(model, genotype_rows, weights, sets);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut counts = vec![0usize; sets.len()];
+    for _ in 0..num_replicates {
+        let perm = random_permutation(&mut rng, n);
+        let shuffled = rebuild(&perm);
+        let replicate = observed_skat(&shuffled, genotype_rows, weights, sets);
+        for (k, (&rep, &obs)) in replicate.iter().zip(&observed).enumerate() {
+            if rep >= obs {
+                counts[k] += 1;
+            }
+        }
+    }
+    ResamplingResult {
+        observed,
+        counts_ge: counts,
+        num_replicates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::score::{CoxScore, GaussianScore, Survival};
+
+    fn tiny_cohort() -> (CoxScore, Vec<Vec<u8>>, Vec<f64>, Vec<SnpSet>) {
+        let ph = vec![
+            Survival::event_at(1.0),
+            Survival::event_at(4.0),
+            Survival::censored_at(2.0),
+            Survival::event_at(8.0),
+            Survival::event_at(3.0),
+            Survival::censored_at(6.0),
+        ];
+        let rows = vec![
+            vec![0u8, 1, 2, 0, 1, 2],
+            vec![2u8, 2, 0, 1, 0, 1],
+            vec![1u8, 0, 1, 2, 2, 0],
+            vec![0u8, 0, 1, 1, 2, 2],
+        ];
+        let weights = vec![1.0, 0.5, 2.0, 1.0];
+        let sets = vec![SnpSet::new(0, vec![0, 1]), SnpSet::new(1, vec![2, 3])];
+        (CoxScore::new(&ph), rows, weights, sets)
+    }
+
+    #[test]
+    fn observed_skat_matches_manual_composition() {
+        let (model, rows, weights, sets) = tiny_cohort();
+        let scores = observed_scores(&model, &rows);
+        let skat = observed_skat(&model, &rows, &weights, &sets);
+        assert_eq!(
+            skat[0],
+            weights[0].powi(2) * scores[0].powi(2) + weights[1].powi(2) * scores[1].powi(2)
+        );
+        assert_eq!(skat.len(), 2);
+    }
+
+    #[test]
+    fn mc_observed_matches_algorithm1() {
+        let (model, rows, weights, sets) = tiny_cohort();
+        let res = monte_carlo(&model, &rows, &weights, &sets, 10, 42);
+        assert_eq!(res.observed, observed_skat(&model, &rows, &weights, &sets));
+        assert_eq!(res.num_replicates, 10);
+    }
+
+    #[test]
+    fn mc_is_deterministic_per_seed() {
+        let (model, rows, weights, sets) = tiny_cohort();
+        let a = monte_carlo(&model, &rows, &weights, &sets, 50, 7);
+        let b = monte_carlo(&model, &rows, &weights, &sets, 50, 7);
+        assert_eq!(a, b);
+        let c = monte_carlo(&model, &rows, &weights, &sets, 50, 8);
+        // Different seed should (almost surely) differ somewhere.
+        assert!(a.counts_ge != c.counts_ge || a.observed == c.observed);
+    }
+
+    #[test]
+    fn permutation_is_deterministic_per_seed() {
+        let (model, rows, weights, sets) = tiny_cohort();
+        let a = permutation(&model, |p| model.permuted(p), &rows, &weights, &sets, 20, 3);
+        let b = permutation(&model, |p| model.permuted(p), &rows, &weights, &sets, 20, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pvalues_in_unit_interval_and_match_counts() {
+        let (model, rows, weights, sets) = tiny_cohort();
+        let res = monte_carlo(&model, &rows, &weights, &sets, 99, 5);
+        let ps = res.pvalues();
+        for (p, &c) in ps.iter().zip(&res.counts_ge) {
+            assert!((0.0..=1.0).contains(p));
+            assert_eq!(*p, (c + 1) as f64 / 100.0);
+        }
+    }
+
+    #[test]
+    fn null_data_gives_uniform_ish_pvalues() {
+        // Pure-null Gaussian trait: p-values should not pile up near zero.
+        let mut rng = StdRng::seed_from_u64(1234);
+        let n = 60;
+        let y: Vec<f64> = (0..n).map(|_| sample_standard_normal(&mut rng)).collect();
+        let rows: Vec<Vec<u8>> = (0..30)
+            .map(|_| (0..n).map(|_| rng.gen_range(0u8..3)).collect())
+            .collect();
+        let weights = vec![1.0; 30];
+        let sets: Vec<SnpSet> = (0..10)
+            .map(|k| SnpSet::new(k as u64, (3 * k..3 * k + 3).collect()))
+            .collect();
+        let model = GaussianScore::new(&y);
+        let res = monte_carlo(&model, &rows, &weights, &sets, 200, 99);
+        let ps = res.pvalues();
+        let small = ps.iter().filter(|&&p| p < 0.05).count();
+        assert!(
+            small <= 3,
+            "under the null, few of 10 sets should have p < 0.05 (got {small}: {ps:?})"
+        );
+    }
+
+    #[test]
+    fn planted_association_is_detected_by_both_methods() {
+        // Trait strongly follows SNP 0's dosage: set containing SNP 0 must
+        // get a small p-value; a pure-noise set must not.
+        let mut rng = StdRng::seed_from_u64(77);
+        let n = 80;
+        let causal: Vec<u8> = (0..n).map(|_| rng.gen_range(0u8..3)).collect();
+        let y: Vec<f64> = causal
+            .iter()
+            .map(|&g| 3.0 * f64::from(g) + 0.3 * sample_standard_normal(&mut rng))
+            .collect();
+        let noise: Vec<u8> = (0..n).map(|_| rng.gen_range(0u8..3)).collect();
+        let rows = vec![causal, noise];
+        let weights = vec![1.0, 1.0];
+        let sets = vec![SnpSet::new(0, vec![0]), SnpSet::new(1, vec![1])];
+        let model = GaussianScore::new(&y);
+
+        let mc = monte_carlo(&model, &rows, &weights, &sets, 199, 5).pvalues();
+        assert!(mc[0] <= 0.01, "causal set must be significant (mc: {mc:?})");
+        assert!(mc[1] > 0.05, "noise set must not be (mc: {mc:?})");
+
+        let perm = permutation(&model, |p| model.permuted(p), &rows, &weights, &sets, 199, 6)
+            .pvalues();
+        assert!(perm[0] <= 0.01, "causal set (perm: {perm:?})");
+        assert!(perm[1] > 0.05, "noise set (perm: {perm:?})");
+    }
+
+    #[test]
+    fn mc_and_permutation_agree_on_null_data() {
+        // The two schemes are asymptotically equivalent; at n = 200 their
+        // p-values on null data should agree coarsely (they can differ
+        // substantially in very small samples — that is expected and is
+        // precisely why both are offered).
+        let mut rng = StdRng::seed_from_u64(2024);
+        let n = 200;
+        let y: Vec<f64> = (0..n).map(|_| sample_standard_normal(&mut rng)).collect();
+        let rows: Vec<Vec<u8>> = (0..8)
+            .map(|_| (0..n).map(|_| rng.gen_range(0u8..3)).collect())
+            .collect();
+        let weights = vec![1.0; 8];
+        let sets = vec![SnpSet::new(0, vec![0, 1, 2, 3]), SnpSet::new(1, vec![4, 5, 6, 7])];
+        let model = GaussianScore::new(&y);
+        let mc = monte_carlo(&model, &rows, &weights, &sets, 400, 1).pvalues();
+        let pm = permutation(&model, |p| model.permuted(p), &rows, &weights, &sets, 400, 2)
+            .pvalues();
+        for (a, b) in mc.iter().zip(&pm) {
+            assert!(
+                (a - b).abs() < 0.2,
+                "MC ({a}) and permutation ({b}) should roughly agree on the null"
+            );
+        }
+    }
+
+    #[test]
+    fn random_permutation_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let p = random_permutation(&mut rng, 100);
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn mc_weights_have_unit_scale() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let z = mc_weights(&mut rng, 50_000);
+        let var = z.iter().map(|x| x * x).sum::<f64>() / z.len() as f64;
+        assert!((var - 1.0).abs() < 0.03, "MC weights variance {var}");
+    }
+}

@@ -1,0 +1,165 @@
+//! SNP-set statistics: SKAT and weighted burden.
+//!
+//! The paper aggregates marginal scores into gene-level statistics with the
+//! Sequence Kernel Association Test: `S_k = Σ_{j∈I_k} ω_j² U_j²` (Wu et
+//! al. 2011). The weighted burden statistic `(Σ_{j∈I_k} ω_j U_j)²` is the
+//! classical alternative the paper's references compare against — powerful
+//! when effects share a direction, weaker when they don't.
+
+/// A SNP-set (gene/pathway): an id and the indices of its member SNPs
+/// within the analysis' SNP array. Sets must be non-empty (they partition
+/// the SNPs in the paper's formulation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnpSet {
+    pub id: u64,
+    pub members: Vec<usize>,
+}
+
+impl SnpSet {
+    pub fn new(id: u64, members: Vec<usize>) -> Self {
+        assert!(!members.is_empty(), "SNP-set {id} must be non-empty");
+        SnpSet { id, members }
+    }
+
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+/// SKAT statistic for one set: `Σ_{j∈I_k} w_j² U_j²`.
+pub fn skat_statistic(scores: &[f64], weights: &[f64], set: &SnpSet) -> f64 {
+    assert_eq!(
+        scores.len(),
+        weights.len(),
+        "scores and weights must align"
+    );
+    set.members
+        .iter()
+        .map(|&j| {
+            let wu = weights[j] * weights[j] * scores[j] * scores[j];
+            debug_assert!(wu.is_finite());
+            wu
+        })
+        .sum()
+}
+
+/// Weighted burden statistic for one set: `(Σ_{j∈I_k} w_j U_j)²`.
+pub fn burden_statistic(scores: &[f64], weights: &[f64], set: &SnpSet) -> f64 {
+    assert_eq!(scores.len(), weights.len());
+    let s: f64 = set.members.iter().map(|&j| weights[j] * scores[j]).sum();
+    s * s
+}
+
+/// SKAT statistics for every set.
+pub fn skat_all(scores: &[f64], weights: &[f64], sets: &[SnpSet]) -> Vec<f64> {
+    sets.iter().map(|s| skat_statistic(scores, weights, s)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn skat_hand_computed() {
+        let scores = [2.0, -1.0, 3.0];
+        let weights = [1.0, 2.0, 0.5];
+        let set = SnpSet::new(0, vec![0, 1, 2]);
+        // 1*4 + 4*1 + 0.25*9 = 10.25
+        assert_eq!(skat_statistic(&scores, &weights, &set), 10.25);
+    }
+
+    #[test]
+    fn burden_hand_computed() {
+        let scores = [2.0, -1.0];
+        let weights = [1.0, 2.0];
+        let set = SnpSet::new(0, vec![0, 1]);
+        // (2 - 2)² = 0: opposite effects cancel in burden but not SKAT.
+        assert_eq!(burden_statistic(&scores, &weights, &set), 0.0);
+        assert!(skat_statistic(&scores, &weights, &set) > 0.0);
+    }
+
+    #[test]
+    fn subset_members_only() {
+        let scores = [10.0, 1.0, 10.0];
+        let weights = [1.0, 1.0, 1.0];
+        let set = SnpSet::new(0, vec![1]);
+        assert_eq!(skat_statistic(&scores, &weights, &set), 1.0);
+    }
+
+    #[test]
+    fn skat_all_maps_sets() {
+        let scores = [1.0, 2.0];
+        let weights = [1.0, 1.0];
+        let sets = vec![SnpSet::new(0, vec![0]), SnpSet::new(1, vec![0, 1])];
+        assert_eq!(skat_all(&scores, &weights, &sets), vec![1.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_set_rejected() {
+        let _ = SnpSet::new(3, vec![]);
+    }
+
+    proptest! {
+        /// SKAT is non-negative and zero iff every weighted member score is.
+        #[test]
+        fn prop_skat_nonnegative(
+            scores in proptest::collection::vec(-50.0f64..50.0, 1..30),
+            weight in 0.0f64..5.0
+        ) {
+            let weights = vec![weight; scores.len()];
+            let set = SnpSet::new(0, (0..scores.len()).collect());
+            let s = skat_statistic(&scores, &weights, &set);
+            prop_assert!(s >= 0.0);
+        }
+
+        /// Scaling all weights by c scales SKAT by c² exactly.
+        #[test]
+        fn prop_skat_weight_scaling(
+            scores in proptest::collection::vec(-10.0f64..10.0, 1..20),
+            c in 0.1f64..4.0
+        ) {
+            let w1 = vec![1.0; scores.len()];
+            let wc = vec![c; scores.len()];
+            let set = SnpSet::new(0, (0..scores.len()).collect());
+            let a = skat_statistic(&scores, &w1, &set) * c * c;
+            let b = skat_statistic(&scores, &wc, &set);
+            prop_assert!((a - b).abs() < 1e-9 * (1.0 + a.abs()));
+        }
+
+        /// SKAT over a disjoint union of sets is the sum over the parts.
+        #[test]
+        fn prop_skat_additive_over_partition(
+            scores in proptest::collection::vec(-10.0f64..10.0, 2..30),
+            split in 1usize..29
+        ) {
+            let n = scores.len();
+            let split = split.min(n - 1);
+            let weights = vec![1.0; n];
+            let whole = SnpSet::new(0, (0..n).collect());
+            let left = SnpSet::new(1, (0..split).collect());
+            let right = SnpSet::new(2, (split..n).collect());
+            let total = skat_statistic(&scores, &weights, &whole);
+            let parts = skat_statistic(&scores, &weights, &left)
+                + skat_statistic(&scores, &weights, &right);
+            prop_assert!((total - parts).abs() < 1e-9 * (1.0 + total.abs()));
+        }
+
+        /// Burden ≤ m × SKAT for unit weights (Cauchy–Schwarz).
+        #[test]
+        fn prop_burden_cauchy_schwarz(
+            scores in proptest::collection::vec(-10.0f64..10.0, 1..25)
+        ) {
+            let weights = vec![1.0; scores.len()];
+            let set = SnpSet::new(0, (0..scores.len()).collect());
+            let b = burden_statistic(&scores, &weights, &set);
+            let s = skat_statistic(&scores, &weights, &set);
+            prop_assert!(b <= scores.len() as f64 * s + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Cluster auto-tuning exploration (the paper's Experiment C in miniature):
+//! sweep the cluster size for strong scaling, then sweep YARN container
+//! shapes on a fixed cluster, reporting virtual cluster time for the same
+//! Monte Carlo workload.
+//!
+//! Run with: `cargo run --release --example cluster_tuning`
+
+use std::sync::Arc;
+
+use sparkscore_cluster::{ClusterSpec, ContainerRequest};
+use sparkscore_core::{AnalysisOptions, SparkScoreContext};
+use sparkscore_data::{write_dataset_to_dfs, GwasDataset, SyntheticConfig};
+use sparkscore_rdd::Engine;
+
+fn analyze(engine: Arc<Engine>, dataset: &GwasDataset, iterations: usize) -> f64 {
+    let (paths, _) = write_dataset_to_dfs(engine.dfs(), "/gwas", dataset).expect("fresh DFS");
+    let ctx = SparkScoreContext::from_dfs(Arc::clone(&engine), &paths, AnalysisOptions::default())
+        .expect("inputs written above");
+    ctx.monte_carlo(iterations, 1, true).virtual_secs
+}
+
+fn main() {
+    let mut config = SyntheticConfig::small(5);
+    config.patients = 200;
+    config.snps = 2000;
+    config.snp_sets = 40;
+    let dataset = GwasDataset::generate(&config);
+    let iterations = 20;
+    println!(
+        "workload: {} patients × {} SNPs, {} MC iterations\n",
+        config.patients, config.snps, iterations
+    );
+
+    // Strong scaling: like Fig 6, with storage memory proportional to the
+    // node count so small clusters feel cache pressure.
+    let u_bytes = (config.snps * config.patients * 8) as u64;
+    println!("strong scaling (cache budget grows with nodes):");
+    println!("nodes  slots  virtual time (s)");
+    for nodes in [2u32, 4, 8] {
+        let engine = Engine::builder(ClusterSpec::m3_2xlarge(nodes))
+            .dfs_block_size(64 * 1024)
+            .cache_budget_bytes(u_bytes / 6 * u64::from(nodes))
+            .build();
+        let slots = engine.layout().total_slots();
+        let t = analyze(engine, &dataset, iterations);
+        println!("{nodes:>5}  {slots:>5}  {t:>10.1}");
+    }
+
+    // Container shapes: same total slots, different partitioning — the
+    // paper finds the difference "almost negligible" (Fig 7).
+    println!("\ncontainer shapes on a fixed 12-node cluster:");
+    println!("containers  mem/ctr(GiB)  cores/ctr  slots  virtual time (s)");
+    for req in [
+        ContainerRequest::new(12, 20 * 1024, 7),
+        ContainerRequest::new(24, 10 * 1024, 3),
+        ContainerRequest::new(48, 5 * 1024, 2),
+    ] {
+        let engine = Engine::builder(ClusterSpec::m3_2xlarge(12))
+            .dfs_block_size(64 * 1024)
+            .containers(req)
+            .build();
+        let slots = engine.layout().total_slots();
+        let t = analyze(engine, &dataset, iterations);
+        println!(
+            "{:>10}  {:>12.1}  {:>9}  {:>5}  {t:>10.1}",
+            req.containers,
+            req.memory_mib as f64 / 1024.0,
+            req.cores,
+            slots
+        );
+    }
+    println!("\ntakeaway: slot count and memory budget matter; container partitioning barely does.");
+}

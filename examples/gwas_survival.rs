@@ -1,0 +1,110 @@
+//! A full GWAS survival screen with a planted association — the paper's
+//! motivating scenario: time-to-death phenotypes with censoring, Cox
+//! efficient scores, SKAT SNP-set statistics, and both resampling schemes
+//! compared, plus Westfall–Young family-wise adjusted p-values.
+//!
+//! Inputs go through the full distributed path: serialized to the DFS as
+//! text files (Algorithm 1 step 1, "Read input files from HDFS") and
+//! parsed inside map tasks.
+//!
+//! Run with: `cargo run --release --example gwas_survival`
+
+use std::sync::Arc;
+
+use sparkscore_cluster::ClusterSpec;
+use sparkscore_core::{AnalysisOptions, SparkScoreContext};
+use sparkscore_data::{write_dataset_to_dfs, GwasDataset, SyntheticConfig};
+use sparkscore_rdd::Engine;
+use sparkscore_stats::pvalue::westfall_young_adjusted;
+use sparkscore_stats::resample::mc_weights;
+use sparkscore_stats::score::{CoxScore, ScoreModel};
+use sparkscore_stats::skat_all;
+
+fn main() {
+    let engine = Engine::builder(ClusterSpec::m3_2xlarge(6))
+        .dfs_block_size(64 * 1024)
+        .build();
+
+    // Cohort with a planted hazard signal: carriers of SNP 7's minor
+    // allele die 2.5× faster per allele copy.
+    let mut config = SyntheticConfig::small(2024);
+    config.patients = 250;
+    config.snps = 400;
+    config.snp_sets = 20;
+    let mut dataset = GwasDataset::generate(&config);
+    dataset.plant_survival_signal(7, 2.5);
+    let causal_set = dataset
+        .sets
+        .iter()
+        .find(|s| s.members.contains(&7))
+        .expect("SNP 7 is in some set")
+        .id;
+    println!("planted: SNP 7 (hazard ratio 2.5/allele) in SNP-set {causal_set}");
+
+    // Ship the inputs to the DFS and analyze from there.
+    let (paths, _) = write_dataset_to_dfs(engine.dfs(), "/gwas", &dataset).expect("fresh DFS");
+    println!("DFS inputs: {}", engine.dfs().list_files().join(", "));
+    let ctx = SparkScoreContext::from_dfs(Arc::clone(&engine), &paths, AnalysisOptions::default())
+        .expect("inputs written above");
+
+    // Monte Carlo (Algorithm 3) and permutation (Algorithm 2), B = 199.
+    let mc = ctx.monte_carlo(199, 11, true);
+    let perm = ctx.permutation(199, 12);
+
+    println!("\nset   SKAT          p(MC)   p(perm)");
+    let mc_p = mc.pvalues();
+    let perm_p = perm.pvalues();
+    let mut order: Vec<usize> = (0..mc.observed.len()).collect();
+    order.sort_by(|&a, &b| mc_p[a].partial_cmp(&mc_p[b]).expect("no NaN p-values"));
+    for &k in order.iter().take(6) {
+        let s = &mc.observed[k];
+        let marker = if s.set == causal_set { "  <-- planted" } else { "" };
+        println!(
+            "{:>3}   {:>10.2}    {:.3}   {:.3}{marker}",
+            s.set, s.score, mc_p[k], perm_p[k]
+        );
+    }
+
+    // Family-wise adjustment: rebuild the MC replicate matrix with the
+    // sequential reference (same statistics) and apply Westfall–Young.
+    let model = CoxScore::new(&dataset.phenotypes);
+    let rows = dataset.genotype_rows();
+    let contribs: Vec<Vec<f64>> = rows.iter().map(|g| model.contributions(g)).collect();
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(11);
+    let replicates: Vec<Vec<f64>> = (0..199)
+        .map(|_| {
+            let z = mc_weights(&mut rng, dataset.phenotypes.len());
+            let scores: Vec<f64> = contribs
+                .iter()
+                .map(|c| c.iter().zip(&z).map(|(u, zi)| u * zi).sum())
+                .collect();
+            skat_all(&scores, &dataset.weights, &dataset.sets)
+        })
+        .collect();
+    let observed: Vec<f64> = mc.observed.iter().map(|s| s.score).collect();
+    let adjusted = westfall_young_adjusted(&observed, &replicates);
+    let k_causal = mc
+        .observed
+        .iter()
+        .position(|s| s.set == causal_set)
+        .expect("causal set present");
+    println!(
+        "\nplanted set {causal_set}: marginal p = {:.3}, Westfall–Young adjusted p = {:.3}",
+        mc_p[k_causal], adjusted[k_causal]
+    );
+    println!(
+        "verdict: {}",
+        if adjusted[k_causal] <= 0.05 {
+            "association detected after family-wise correction"
+        } else {
+            "not significant after correction (increase B or effect size)"
+        }
+    );
+
+    println!(
+        "\nvirtual cluster time: MC {:.1}s vs permutation {:.1}s ({}x)",
+        mc.virtual_secs,
+        perm.virtual_secs,
+        (perm.virtual_secs / mc.virtual_secs).round()
+    );
+}

@@ -1,0 +1,118 @@
+//! Sequencing-style analysis from a VCF: parse variant calls, build
+//! SNP-sets from gene annotation by positional containment (the paper's
+//! §II representation — SNPs as `(chr, pos)`, genes as `(chr, start,
+//! end)`), apply QC filters, and run the distributed SKAT analysis.
+//!
+//! Run with: `cargo run --release --example vcf_gene_analysis`
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sparkscore_cluster::ClusterSpec;
+use sparkscore_core::{AnalysisOptions, Phenotype, SparkScoreContext};
+use sparkscore_data::regions::{snp_sets_from_genes, GeneRegion, SnpLocus};
+use sparkscore_data::vcf::{parse_vcf, to_analysis_inputs, write_vcf};
+use sparkscore_data::SnpRow;
+use sparkscore_rdd::Engine;
+use sparkscore_stats::qc::{check_snp, QcThresholds};
+use sparkscore_stats::score::Survival;
+
+fn main() {
+    // ---- Fabricate a small sequencing study as a VCF ----
+    let mut rng = StdRng::seed_from_u64(314);
+    let n = 120usize;
+    let m = 60usize;
+    let samples: Vec<String> = (0..n).map(|i| format!("P{i:03}")).collect();
+    // Variants spread over two chromosomes, 1 kb apart.
+    let loci: Vec<SnpLocus> = (0..m)
+        .map(|i| SnpLocus {
+            index: i,
+            chromosome: if i < m / 2 { 1 } else { 2 },
+            position: 10_000 + 1_000 * (i as u64 % (m as u64 / 2)),
+        })
+        .collect();
+    let rows: Vec<SnpRow> = (0..m)
+        .map(|i| {
+            let maf = rng.gen_range(0.08..0.45);
+            SnpRow {
+                id: i as u64,
+                dosages: (0..n)
+                    .map(|_| sparkscore_stats::dist::sample_genotype(&mut rng, maf))
+                    .collect(),
+            }
+        })
+        .collect();
+    let vcf_text = write_vcf(&samples, &rows, &loci);
+    println!("VCF: {} bytes, {} samples, {} variants", vcf_text.len(), n, m);
+
+    // ---- Parse it back (as a real pipeline would receive it) ----
+    let vcf = parse_vcf(&vcf_text).expect("well-formed VCF");
+    let (mut rows, loci) = to_analysis_inputs(&vcf);
+
+    // ---- QC: drop monomorphic/rare/HWE-failing variants ----
+    let thresholds = QcThresholds::default();
+    let kept: Vec<bool> = rows
+        .iter()
+        .map(|r| check_snp(&r.dosages, &thresholds).is_ok())
+        .collect();
+    let dropped = kept.iter().filter(|&&k| !k).count();
+    println!("QC: {dropped} of {m} variants filtered");
+    // Zero out dropped variants' weights rather than reindexing.
+    let weights: Vec<(u64, f64)> = kept
+        .iter()
+        .enumerate()
+        .map(|(j, &keep)| (j as u64, if keep { 1.0 } else { 0.0 }))
+        .collect();
+
+    // ---- Gene annotation → SNP-sets by containment ----
+    let genes = vec![
+        GeneRegion::new(0, "GENE1", 1, 10_000, 19_000),
+        GeneRegion::new(1, "GENE2", 1, 20_000, 39_000),
+        GeneRegion::new(2, "GENE3", 2, 10_000, 24_000),
+        GeneRegion::new(3, "GENE4", 2, 25_000, 39_000),
+    ];
+    let sets = snp_sets_from_genes(&loci, &genes);
+    for (g, s) in genes.iter().zip(&sets) {
+        println!("{}: {} variants", g.name, s.len());
+    }
+
+    // ---- Phenotype: survival driven by a variant inside GENE3 ----
+    let causal = sets[2].members[1];
+    let phenotypes: Vec<Survival> = (0..n)
+        .map(|i| {
+            let hazard = 2.5f64.powi(i32::from(rows[causal].dosages[i]));
+            Survival {
+                time: sparkscore_stats::dist::sample_exponential(&mut rng, hazard / 12.0),
+                event: rng.gen::<f64>() < 0.85,
+            }
+        })
+        .collect();
+    rows.truncate(m); // (no-op; emphasizes rows are final here)
+
+    // ---- Distributed analysis ----
+    let engine = Engine::builder(ClusterSpec::m3_2xlarge(4)).build();
+    let gm = engine.parallelize(
+        rows.iter().map(|r| (r.id, r.dosages.clone())).collect::<Vec<_>>(),
+        8,
+    );
+    let weights_rdd = engine.parallelize(weights, 2);
+    let ctx = SparkScoreContext::from_parts(
+        Arc::clone(&engine),
+        Phenotype::Survival(phenotypes),
+        gm,
+        weights_rdd,
+        &sets,
+        AnalysisOptions::default(),
+    );
+    let run = ctx.monte_carlo(299, 9, true);
+
+    println!("\ngene-level results (B = {}):", run.num_replicates);
+    let pvalues = run.pvalues();
+    for ((score, p), gene) in run.observed.iter().zip(&pvalues).zip(&genes) {
+        let marker = if gene.id == 2 { "  <-- harbors causal variant" } else { "" };
+        println!("  {}: SKAT = {:>9.2}, p = {:.3}{marker}", gene.name, score.score, p);
+    }
+    assert_eq!(run.top_sets(1)[0].0, 2, "GENE3 must rank first");
+    println!("\ndetected GENE3; virtual cluster time {:.1}s", run.virtual_secs);
+}
