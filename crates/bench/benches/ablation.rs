@@ -81,8 +81,7 @@ fn dfs_block_size(c: &mut Criterion) {
             .build();
         let dataset = GwasDataset::generate(&cfg);
         let (paths, _) = write_dataset_to_dfs(engine.dfs(), "/bench", &dataset).unwrap();
-        let ctx =
-            SparkScoreContext::from_dfs(engine, &paths, AnalysisOptions::default()).unwrap();
+        let ctx = SparkScoreContext::from_dfs(engine, &paths, AnalysisOptions::default()).unwrap();
         group.bench_with_input(
             BenchmarkId::new("observed_pass", block_kib),
             &block_kib,

@@ -16,7 +16,10 @@ fn fig6(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(1500));
     group.measurement_time(std::time::Duration::from_secs(3));
     for &nodes in &[6u32, 12, 18] {
-        let ctx = common::context(pressured_engine(nodes, per_node * u64::from(nodes), &cfg), &cfg);
+        let ctx = common::context(
+            pressured_engine(nodes, per_node * u64::from(nodes), &cfg),
+            &cfg,
+        );
         group.bench_with_input(BenchmarkId::new("mc_b10", nodes), &nodes, |bench, _| {
             bench.iter_custom(|n| common::mc_virtual(&ctx, 10, true, n));
         });

@@ -75,5 +75,11 @@ fn engine_shuffle(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, cox_kernels, skat_kernel, mc_perturbation_kernel, engine_shuffle);
+criterion_group!(
+    benches,
+    cox_kernels,
+    skat_kernel,
+    mc_perturbation_kernel,
+    engine_shuffle
+);
 criterion_main!(benches);

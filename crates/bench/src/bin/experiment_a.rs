@@ -10,8 +10,8 @@
 //! averaging.
 
 use sparkscore_bench::{
-    context_on, measure_mc, measure_perm, paper, paper_engine, print_table, secs, shape_check,
-    HarnessOptions, Measurement,
+    context_on, measure_mc, measure_perm, observe, paper, paper_engine, print_table, secs,
+    shape_check, HarnessOptions, Measurement,
 };
 use sparkscore_data::SyntheticConfig;
 
@@ -33,7 +33,14 @@ fn main() {
     );
     print_table(
         "Table II — input parameters",
-        &["patients", "SNPs", "SNP-sets", "avg SNPs/set", "nodes", "scale"],
+        &[
+            "patients",
+            "SNPs",
+            "SNP-sets",
+            "avg SNPs/set",
+            "nodes",
+            "scale",
+        ],
         &[vec![
             cfg.patients.to_string(),
             cfg.snps.to_string(),
@@ -44,7 +51,9 @@ fn main() {
         ]],
     );
 
-    let ctx = context_on(paper_engine(nodes, &cfg), &cfg);
+    let engine = paper_engine(nodes, &cfg);
+    let obs = observe(&engine, "experiment_a");
+    let ctx = context_on(engine, &cfg);
 
     let mc_iters: Vec<usize> = if opts.quick {
         vec![0, 2, 4, 8, 16, 100]
@@ -86,7 +95,11 @@ fn main() {
             b.to_string(),
             fmt(mc.iter().find(|m| m.iterations == b)),
             fmt(perm.iter().find(|m| m.iterations == b)),
-            paper_fmt(paper::lookup(&paper::TABLE_III_ITERS, &paper::TABLE_III_MC, b)),
+            paper_fmt(paper::lookup(
+                &paper::TABLE_III_ITERS,
+                &paper::TABLE_III_MC,
+                b,
+            )),
             paper_fmt(paper::lookup(
                 &paper::TABLE_III_ITERS[..5],
                 &paper::TABLE_III_PERM,
@@ -115,7 +128,8 @@ fn main() {
     // Per-iteration costs from the largest common spans.
     let per_iter = |ms: &[Measurement]| -> Option<f64> {
         let base = get(ms, 0)?;
-        ms.iter().rfind(|m| m.iterations > 0)
+        ms.iter()
+            .rfind(|m| m.iterations > 0)
             .map(|m| (m.virtual_secs - base) / m.iterations as f64)
     };
     if let (Some(mc_iter), Some(perm_iter)) = (per_iter(&mc), per_iter(&perm)) {
@@ -180,7 +194,10 @@ fn main() {
     for (label, secs) in [
         ("MC @ 10000 (paper runtime)", 7036.6),
         ("permutation @ 16 (paper runtime)", 8818.6),
-        ("permutation @ 10000 (paper rate, extrapolated)", 509.4 + 10_000.0 * 519.3),
+        (
+            "permutation @ 10000 (paper rate, extrapolated)",
+            509.4 + 10_000.0 * 519.3,
+        ),
     ] {
         let c = sparkscore_cluster::estimate_cost(&spec, secs);
         cost_rows.push(vec![label.to_string(), format!("${:.2}", c.total_usd())]);
@@ -208,4 +225,5 @@ fn main() {
         "permutation": dump(&perm),
     });
     println!("\nJSON: {json}");
+    obs.finish();
 }

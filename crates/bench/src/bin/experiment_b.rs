@@ -8,8 +8,8 @@
 //! SNPs/sets (default 100 → 100 and 10 000 SNPs for the two inputs).
 
 use sparkscore_bench::{
-    context_on, measure_mc, paper, paper_engine, print_table, secs, shape_check, HarnessOptions,
-    Measurement,
+    context_on, measure_mc, observe, paper, paper_engine, print_table, secs, shape_check,
+    HarnessOptions, Measurement,
 };
 use sparkscore_core::SparkScoreContext;
 use sparkscore_data::SyntheticConfig;
@@ -30,17 +30,9 @@ fn run_series(
         .collect()
 }
 
-fn figure(
-    title: &str,
-    cached: &[Measurement],
-    nocache: &[Measurement],
-    with_paper: bool,
-) {
-    let all: std::collections::BTreeSet<usize> = cached
-        .iter()
-        .chain(nocache)
-        .map(|m| m.iterations)
-        .collect();
+fn figure(title: &str, cached: &[Measurement], nocache: &[Measurement], with_paper: bool) {
+    let all: std::collections::BTreeSet<usize> =
+        cached.iter().chain(nocache).map(|m| m.iterations).collect();
     let mut rows = Vec::new();
     for &b in &all {
         let fmt = |ms: &[Measurement]| {
@@ -107,7 +99,14 @@ fn check_shapes(cached: &[Measurement], nocache: &[Measurement], label: &str, st
             if strict {
                 shape_check(&msg, cv < nv);
             } else {
-                println!("info: {msg}: {}", if cv < nv { "holds" } else { "needs fuller scale" });
+                println!(
+                    "info: {msg}: {}",
+                    if cv < nv {
+                        "holds"
+                    } else {
+                        "needs fuller scale"
+                    }
+                );
             }
         }
     }
@@ -147,11 +146,15 @@ fn main() {
     );
 
     // Figure 4 / Table V: the small input.
-    let ctx_small = context_on(paper_engine(nodes, &cfg_small), &cfg_small);
+    let engine_small = paper_engine(nodes, &cfg_small);
+    let obs_small = observe(&engine_small, "experiment_b_10k");
+    let ctx_small = context_on(engine_small, &cfg_small);
     let cached_iters: Vec<usize> = if opts.quick {
         vec![0, 10, 100, 200]
     } else {
-        vec![0, 10, 100, 200, 300, 400, 500, 600, 700, 800, 900, 1000, 10000]
+        vec![
+            0, 10, 100, 200, 300, 400, 500, 600, 700, 800, 900, 1000, 10000,
+        ]
     };
     let nocache_iters: Vec<usize> = if opts.quick {
         vec![0, 10, 100]
@@ -169,13 +172,19 @@ fn main() {
     check_shapes(&cached, &nocache, "10K SNPs", opts.scale <= 10);
 
     // Figure 5: the large input.
-    let ctx_large = context_on(paper_engine(nodes, &cfg_large), &cfg_large);
+    let engine_large = paper_engine(nodes, &cfg_large);
+    let obs_large = observe(&engine_large, "experiment_b_1m");
+    let ctx_large = context_on(engine_large, &cfg_large);
     let cached_iters_l: Vec<usize> = if opts.quick {
         vec![0, 10, 100]
     } else {
         vec![0, 10, 100, 200, 300, 400, 500, 600, 700, 800, 900, 1000]
     };
-    let nocache_iters_l: Vec<usize> = if opts.quick { vec![0, 10] } else { vec![0, 10, 100] };
+    let nocache_iters_l: Vec<usize> = if opts.quick {
+        vec![0, 10]
+    } else {
+        vec![0, 10, 100]
+    };
     let cached_l = run_series(&ctx_large, &cached_iters_l, opts.runs, true, "1m cached");
     let nocache_l = run_series(&ctx_large, &nocache_iters_l, opts.runs, false, "1m nocache");
     figure(
@@ -208,4 +217,6 @@ fn main() {
         "fig5_nocache": dump(&nocache_l),
     });
     println!("\nJSON: {json}");
+    obs_small.finish();
+    obs_large.finish();
 }

@@ -14,8 +14,8 @@
 //! node count, sized so that `U` fits at 18 nodes but not at 6.
 
 use sparkscore_bench::{
-    container_engine, context_on, measure_mc, pressured_engine, print_table, secs, shape_check,
-    u_rdd_bytes, HarnessOptions, Measurement,
+    container_engine, context_on, measure_mc, observe, pressured_engine, print_table, secs,
+    shape_check, u_rdd_bytes, HarnessOptions, Measurement,
 };
 use sparkscore_cluster::ContainerRequest;
 use sparkscore_data::SyntheticConfig;
@@ -40,11 +40,16 @@ fn main() {
     // ---- Figure 6: strong scaling ----
     // Per-node storage budget: U fits from ~12 nodes up, thrashes at 6.
     let per_node_budget = (u_rdd_bytes(&cfg) as f64 / 11.0).ceil() as u64;
-    let iters: Vec<usize> = if opts.quick { vec![0, 10] } else { vec![0, 10, 20] };
+    let iters: Vec<usize> = if opts.quick {
+        vec![0, 10]
+    } else {
+        vec![0, 10, 20]
+    };
     let node_counts = [6u32, 12, 18];
     let mut fig6: Vec<(u32, Vec<Measurement>)> = Vec::new();
     for &nodes in &node_counts {
         let engine = pressured_engine(nodes, per_node_budget * u64::from(nodes), &cfg);
+        let obs = observe(&engine, &format!("experiment_c_scaling_{nodes}n"));
         let ctx = context_on(engine, &cfg);
         let series: Vec<Measurement> = iters
             .iter()
@@ -53,6 +58,7 @@ fn main() {
                 measure_mc(&ctx, b, opts.runs, true)
             })
             .collect();
+        eprintln!("event log: {}", obs.log_path.display());
         fig6.push((nodes, series));
     }
     let rows: Vec<Vec<String>> = iters
@@ -110,7 +116,12 @@ fn main() {
     ];
     print_table(
         "Table VIII — container configurations",
-        &["containers", "memory/container (GiB)", "cores/container", "total slots"],
+        &[
+            "containers",
+            "memory/container (GiB)",
+            "cores/container",
+            "total slots",
+        ],
         &shapes
             .iter()
             .map(|s| {
@@ -124,10 +135,19 @@ fn main() {
             .collect::<Vec<_>>(),
     );
 
-    let fig7_iters: Vec<usize> = if opts.quick { vec![0, 10] } else { vec![0, 10, 100] };
+    let fig7_iters: Vec<usize> = if opts.quick {
+        vec![0, 10]
+    } else {
+        vec![0, 10, 100]
+    };
     let mut fig7: Vec<(u32, Vec<Measurement>)> = Vec::new();
     for shape in &shapes {
-        let ctx = context_on(container_engine(36, *shape, &cfg), &cfg);
+        let engine = container_engine(36, *shape, &cfg);
+        let obs = observe(
+            &engine,
+            &format!("experiment_c_{}containers", shape.containers),
+        );
+        let ctx = context_on(engine, &cfg);
         let series: Vec<Measurement> = fig7_iters
             .iter()
             .map(|&b| {
@@ -135,6 +155,7 @@ fn main() {
                 measure_mc(&ctx, b, opts.runs, true)
             })
             .collect();
+        eprintln!("event log: {}", obs.log_path.display());
         fig7.push((shape.containers, series));
     }
     let rows: Vec<Vec<String>> = fig7_iters
@@ -150,7 +171,12 @@ fn main() {
         .collect();
     print_table(
         "Figure 7 — runtime vs container count, 36 nodes (virtual seconds)",
-        &["iterations", "42 containers", "84 containers", "126 containers"],
+        &[
+            "iterations",
+            "42 containers",
+            "84 containers",
+            "126 containers",
+        ],
         &rows,
     );
     // Paper: "performance difference for different numbers of containers

@@ -9,7 +9,7 @@
 //! `--scale N` divides the SNP counts (and the matching set counts) by N.
 
 use sparkscore_bench::{
-    context_on, measure_mc, measure_perm, paper_engine, print_table, secs, shape_check,
+    context_on, measure_mc, measure_perm, observe, paper_engine, print_table, secs, shape_check,
     HarnessOptions, Measurement,
 };
 use sparkscore_data::SyntheticConfig;
@@ -22,7 +22,11 @@ fn main() {
     let configs: &[(usize, usize, usize)] = if opts.quick {
         &[(100, 10_000, 1000), (10, 100_000, 1000)]
     } else {
-        &[(1000, 10_000, 1000), (100, 100_000, 1000), (10, 1_000_000, 1000)]
+        &[
+            (1000, 10_000, 1000),
+            (100, 100_000, 1000),
+            (10, 1_000_000, 1000),
+        ]
     };
 
     println!("# Sensitivity: iterations × SNPs constant (Figure 3)");
@@ -36,11 +40,14 @@ fn main() {
         };
         let label = format!("{iters}×{snps}");
         eprintln!("[sensitivity] {label} (scaled to {} SNPs) ...", cfg.snps);
-        let ctx = context_on(paper_engine(nodes, &cfg), &cfg);
+        let engine = paper_engine(nodes, &cfg);
+        let obs = observe(&engine, &format!("sensitivity_{iters}x{snps}"));
+        let ctx = context_on(engine, &cfg);
         mc_points.push((label.clone(), measure_mc(&ctx, iters, opts.runs, true)));
         // Permutation at high iteration counts is the expensive half; the
         // paper ran it anyway — so do we (scaled).
         perm_points.push((label, measure_perm(&ctx, iters, opts.runs)));
+        eprintln!("event log: {}", obs.log_path.display());
     }
 
     let rows: Vec<Vec<String>> = mc_points

@@ -14,7 +14,7 @@ use std::time::Duration;
 use sparkscore_cluster::{ClusterSpec, ContainerRequest};
 use sparkscore_core::{AnalysisOptions, ResamplingRun, SparkScoreContext};
 use sparkscore_data::{GwasDataset, SyntheticConfig};
-use sparkscore_rdd::Engine;
+use sparkscore_rdd::{Engine, EventListener, EventLogListener, StageSummaryListener};
 
 /// Common command-line options for the experiment binaries.
 #[derive(Debug, Clone)]
@@ -130,6 +130,69 @@ pub fn pressured_engine(nodes: u32, cache_budget: u64, cfg: &SyntheticConfig) ->
         .build()
 }
 
+/// Observability attached to one experiment: a JSONL event log on disk
+/// plus an in-memory per-stage summary. Create with [`observe`] *before*
+/// handing the engine to [`context_on`]; call [`Observability::finish`] at
+/// the end to flush the log and print the stage report.
+pub struct Observability {
+    /// Where the JSONL event log is being written.
+    pub log_path: std::path::PathBuf,
+    log: Arc<EventLogListener>,
+    summary: Arc<StageSummaryListener>,
+}
+
+/// Attach an event log (`target/events/<name>.jsonl`) and a stage-summary
+/// listener to `engine`.
+pub fn observe(engine: &Arc<Engine>, name: &str) -> Observability {
+    let log_path = std::path::PathBuf::from(format!("target/events/{name}.jsonl"));
+    let log = Arc::new(
+        EventLogListener::to_file(&log_path).expect("create event log under target/events"),
+    );
+    let summary = Arc::new(StageSummaryListener::new());
+    engine
+        .events()
+        .register(Arc::clone(&log) as Arc<dyn EventListener>);
+    engine
+        .events()
+        .register(Arc::clone(&summary) as Arc<dyn EventListener>);
+    Observability {
+        log_path,
+        log,
+        summary,
+    }
+}
+
+impl Observability {
+    /// Per-stage summary table (see `StageSummaryListener::report`).
+    pub fn report(&self) -> String {
+        self.summary.report()
+    }
+
+    /// Flush the event log and print the stage summary + log location.
+    /// Long runs produce hundreds of stages; the console table keeps the
+    /// head and tail and points at the JSONL log for the full stream.
+    pub fn finish(&self) {
+        let _ = self.log.flush();
+        println!("\n== per-stage summary ==");
+        let report = self.summary.report();
+        let lines: Vec<&str> = report.lines().collect();
+        const HEAD: usize = 22; // 2 header lines + first 20 stages
+        const TAIL: usize = 10;
+        if lines.len() <= HEAD + TAIL + 1 {
+            print!("{report}");
+        } else {
+            for l in &lines[..HEAD] {
+                println!("{l}");
+            }
+            println!("| ... {} stages elided ... |", lines.len() - HEAD - TAIL);
+            for l in &lines[lines.len() - TAIL..] {
+                println!("{l}");
+            }
+        }
+        println!("event log: {}", self.log_path.display());
+    }
+}
+
 /// Build the analysis context for a synthetic workload on `engine`,
 /// through the paper's actual input path: serialize the cohort to DFS
 /// text files, then build the pipeline with `from_dfs` — so lineage
@@ -208,7 +271,10 @@ pub fn virtual_duration(run: &ResamplingRun) -> Duration {
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     println!("\n### {title}\n");
     println!("| {} |", header.join(" | "));
-    println!("|{}|", header.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
     for row in rows {
         println!("| {} |", row.join(" | "));
     }
@@ -234,17 +300,16 @@ pub fn shape_check(name: &str, ok: bool) {
 pub mod paper {
     /// Table III: Experiment A average runtimes, by iterations.
     pub const TABLE_III_ITERS: [usize; 8] = [0, 2, 4, 8, 16, 100, 1000, 10000];
-    pub const TABLE_III_MC: [f64; 8] =
-        [509.4, 532.2, 532.4, 516.4, 542.8, 590.4, 1170.8, 7036.6];
+    pub const TABLE_III_MC: [f64; 8] = [509.4, 532.2, 532.4, 516.4, 542.8, 590.4, 1170.8, 7036.6];
     /// Permutation was only run to 16 iterations (funding limits).
     pub const TABLE_III_PERM: [f64; 5] = [509.4, 1535.2, 2594.4, 4628.4, 8818.6];
 
     /// Table V: Experiment B (10K SNPs) average runtimes, by iterations.
-    pub const TABLE_V_ITERS: [usize; 13] =
-        [0, 10, 100, 200, 300, 400, 500, 600, 700, 800, 900, 1000, 10000];
+    pub const TABLE_V_ITERS: [usize; 13] = [
+        0, 10, 100, 200, 300, 400, 500, 600, 700, 800, 900, 1000, 10000,
+    ];
     pub const TABLE_V_CACHED: [f64; 13] = [
-        94.0, 101.0, 132.0, 140.4, 163.6, 178.4, 188.2, 214.8, 225.5, 241.8, 257.4, 283.0,
-        1928.6,
+        94.0, 101.0, 132.0, 140.4, 163.6, 178.4, 188.2, 214.8, 225.5, 241.8, 257.4, 283.0, 1928.6,
     ];
     /// No-cache numbers stop at 200 iterations in the paper.
     pub const TABLE_V_NOCACHE: [f64; 3] = [641.4, 5418.0, 10709.0];

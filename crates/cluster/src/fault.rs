@@ -128,16 +128,17 @@ mod tests {
         let plan = FaultPlan::kill_node_after(NodeId(2), 3);
         assert!(plan.on_task_complete().is_empty()); // 1
         assert!(plan.on_task_complete().is_empty()); // 2
-        assert_eq!(plan.on_task_complete(), vec![FaultEvent::KillNode(NodeId(2))]); // 3
+        assert_eq!(
+            plan.on_task_complete(),
+            vec![FaultEvent::KillNode(NodeId(2))]
+        ); // 3
         assert!(plan.on_task_complete().is_empty()); // 4: one-shot
     }
 
     #[test]
     fn periodic_cache_loss() {
         let plan = FaultPlan::none().with_cached_block_loss_every(2);
-        let fired: usize = (0..10)
-            .map(|_| plan.on_task_complete().len())
-            .sum();
+        let fired: usize = (0..10).map(|_| plan.on_task_complete().len()).sum();
         assert_eq!(fired, 5);
     }
 

@@ -130,8 +130,7 @@ impl VirtualScheduler {
         let shuffle_ns = if task.shuffle_bytes == 0 {
             0
         } else {
-            let remote = task.shuffle_bytes * (self.num_nodes as u64 - 1)
-                / self.num_nodes as u64;
+            let remote = task.shuffle_bytes * (self.num_nodes as u64 - 1) / self.num_nodes as u64;
             let local_bytes = task.shuffle_bytes - remote;
             CostModel::transfer_ns(remote, self.net_bw)
                 + CostModel::transfer_ns(local_bytes, self.disk_bw)
@@ -163,8 +162,7 @@ impl VirtualScheduler {
                     best = Some((i, avail, finish, local));
                 }
             }
-            let (slot_idx, start, finish, local) =
-                best.expect("scheduler has at least one slot");
+            let (slot_idx, start, finish, local) = best.expect("scheduler has at least one slot");
             self.slots[slot_idx].2 = finish;
             if local {
                 local_reads += 1;
@@ -269,7 +267,9 @@ mod tests {
     }
 
     fn flat_tasks(n: usize, compute_ns: u64) -> Vec<VirtualTask> {
-        (0..n).map(|_| VirtualTask::compute_only(compute_ns)).collect()
+        (0..n)
+            .map(|_| VirtualTask::compute_only(compute_ns))
+            .collect()
     }
 
     #[test]
@@ -281,7 +281,10 @@ mod tests {
     fn single_task_duration_includes_overhead() {
         let mut s = sched(1);
         let out = s.schedule(&flat_tasks(1, 1_000_000));
-        assert_eq!(out.makespan_ns, 1_000_000 + CostModel::default().task_overhead_ns);
+        assert_eq!(
+            out.makespan_ns,
+            1_000_000 + CostModel::default().task_overhead_ns
+        );
     }
 
     #[test]
@@ -289,7 +292,10 @@ mod tests {
         let mut s = sched(2); // 4 slots
         let out = s.schedule(&flat_tasks(4, 10_000_000));
         let one = 10_000_000 + CostModel::default().task_overhead_ns;
-        assert_eq!(out.makespan_ns, one, "4 equal tasks on 4 slots take 1 task-time");
+        assert_eq!(
+            out.makespan_ns, one,
+            "4 equal tasks on 4 slots take 1 task-time"
+        );
     }
 
     #[test]
@@ -388,7 +394,7 @@ mod tests {
     #[test]
     fn barrier_prevents_backfill_into_prior_jobs() {
         let mut s = sched(1); // 2 slots
-        // A lopsided stage: one long task, one short → slot 2 idles.
+                              // A lopsided stage: one long task, one short → slot 2 idles.
         let long = VirtualTask::compute_only(100_000_000);
         let short = VirtualTask::compute_only(1_000_000);
         s.schedule(&[long, short]);

@@ -129,8 +129,7 @@ impl SparkScoreContext {
         paths: &DatasetPaths,
         options: AnalysisOptions,
     ) -> Result<Self, DfsError> {
-        let phenotypes =
-            parse_phenotypes_text(&engine.dfs().read_to_string(&paths.phenotypes)?);
+        let phenotypes = parse_phenotypes_text(&engine.dfs().read_to_string(&paths.phenotypes)?);
         let sets: Vec<SnpSet> = engine
             .dfs()
             .read_to_string(&paths.sets)?
@@ -310,9 +309,7 @@ impl SparkScoreContext {
             // Ablation: look the weight up in a broadcast table map-side.
             Some(table) => {
                 let table = table.clone();
-                inner.map(move |(snp, u_stat)| {
-                    (snp, weigh(u_stat, table.value()[snp as usize]))
-                })
+                inner.map(move |(snp, u_stat)| (snp, weigh(u_stat, table.value()[snp as usize])))
             }
         };
         let per_set = per_snp_term
@@ -542,13 +539,9 @@ mod tests {
             .host_threads(2)
             .build();
         let ds = GwasDataset::generate(&SyntheticConfig::small(23));
-        let join = SparkScoreContext::from_memory(
-            Arc::clone(&engine),
-            &ds,
-            4,
-            AnalysisOptions::default(),
-        )
-        .monte_carlo(15, 3, true);
+        let join =
+            SparkScoreContext::from_memory(Arc::clone(&engine), &ds, 4, AnalysisOptions::default())
+                .monte_carlo(15, 3, true);
         let engine2 = Engine::builder(ClusterSpec::test_small(2))
             .host_threads(2)
             .build();

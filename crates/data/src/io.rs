@@ -98,7 +98,9 @@ pub fn parse_phenotype_line(line: &str) -> (usize, Survival) {
         malformed("phenotype", line)
     };
     let patient = pid.parse().unwrap_or_else(|_| malformed("phenotype", line));
-    let time: f64 = time.parse().unwrap_or_else(|_| malformed("phenotype", line));
+    let time: f64 = time
+        .parse()
+        .unwrap_or_else(|_| malformed("phenotype", line));
     let event = match event {
         "0" => false,
         "1" => true,

@@ -57,12 +57,10 @@ pub fn snp_sets_from_genes(loci: &[SnpLocus], genes: &[GeneRegion]) -> Vec<SnpSe
     genes
         .iter()
         .filter_map(|gene| {
-            let lo = sorted.partition_point(|l| {
-                (l.chromosome, l.position) < (gene.chromosome, gene.start)
-            });
-            let hi = sorted.partition_point(|l| {
-                (l.chromosome, l.position) <= (gene.chromosome, gene.end)
-            });
+            let lo = sorted
+                .partition_point(|l| (l.chromosome, l.position) < (gene.chromosome, gene.start));
+            let hi = sorted
+                .partition_point(|l| (l.chromosome, l.position) <= (gene.chromosome, gene.end));
             if lo == hi {
                 return None;
             }

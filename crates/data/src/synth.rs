@@ -123,9 +123,9 @@ fn generate_sets(config: &SyntheticConfig, rng: &mut StdRng) -> Vec<SnpSet> {
         // Keep one SNP in reserve per remaining set (incl. the last), so
         // every set stays non-empty.
         let remaining_sets = k - set_id - 1;
-        let take = size.min(available.saturating_sub(remaining_sets)).max(
-            usize::from(available > remaining_sets),
-        );
+        let take = size
+            .min(available.saturating_sub(remaining_sets))
+            .max(usize::from(available > remaining_sets));
         let members: Vec<usize> = deck[cursor..cursor + take].to_vec();
         cursor += take;
         sets.push(SnpSet::new(set_id as u64, members));
@@ -196,8 +196,7 @@ mod tests {
         };
         let ds = GwasDataset::generate(&cfg);
         let mean_t = ds.phenotypes.iter().map(|p| p.time).sum::<f64>() / 40_000.0;
-        let event_rate =
-            ds.phenotypes.iter().filter(|p| p.event).count() as f64 / 40_000.0;
+        let event_rate = ds.phenotypes.iter().filter(|p| p.event).count() as f64 / 40_000.0;
         assert!((mean_t - 12.0).abs() < 0.3, "mean survival {mean_t}");
         assert!((event_rate - 0.85).abs() < 0.01, "event rate {event_rate}");
     }
@@ -215,11 +214,7 @@ mod tests {
         // The partition property forces the overall mean to exactly m/K;
         // check the non-final sets' sizes look exponential-ish too.
         assert_eq!(mean, 100.0);
-        let non_final_mean = ds.sets[..199]
-            .iter()
-            .map(|s| s.len())
-            .sum::<usize>() as f64
-            / 199.0;
+        let non_final_mean = ds.sets[..199].iter().map(|s| s.len()).sum::<usize>() as f64 / 199.0;
         assert!(
             (non_final_mean - 100.0).abs() < 25.0,
             "non-final mean set size {non_final_mean}"

@@ -70,7 +70,12 @@ pub fn parse_vcf(text: &str) -> Result<VcfData, VcfError> {
             if cols.len() < FIXED_COLUMNS - 1 {
                 return Err(VcfError::MalformedHeader { line: lineno });
             }
-            samples = Some(cols[FIXED_COLUMNS - 1..].iter().map(|s| s.to_string()).collect());
+            samples = Some(
+                cols[FIXED_COLUMNS - 1..]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
+            );
             continue;
         }
         let Some(samples) = &samples else {
@@ -101,7 +106,9 @@ fn parse_record(line: &str, lineno: usize, num_samples: usize) -> Result<VcfReco
         .trim_start_matches("chr")
         .parse::<u8>()
         .map_err(|_| bad("non-numeric chromosome"))?;
-    let position = cols[1].parse::<u64>().map_err(|_| bad("non-numeric position"))?;
+    let position = cols[1]
+        .parse::<u64>()
+        .map_err(|_| bad("non-numeric position"))?;
     // FORMAT must lead with GT for us to read genotypes.
     if cols[8] != "GT" && !cols[8].starts_with("GT:") {
         return Err(bad("FORMAT does not start with GT"));
@@ -282,12 +289,26 @@ mod tests {
     fn write_parse_round_trip() {
         let samples: Vec<String> = vec!["a".into(), "b".into()];
         let rows = vec![
-            SnpRow { id: 0, dosages: vec![0, 2] },
-            SnpRow { id: 1, dosages: vec![1, 1] },
+            SnpRow {
+                id: 0,
+                dosages: vec![0, 2],
+            },
+            SnpRow {
+                id: 1,
+                dosages: vec![1, 1],
+            },
         ];
         let loci = vec![
-            SnpLocus { index: 0, chromosome: 3, position: 500 },
-            SnpLocus { index: 1, chromosome: 3, position: 900 },
+            SnpLocus {
+                index: 0,
+                chromosome: 3,
+                position: 500,
+            },
+            SnpLocus {
+                index: 1,
+                chromosome: 3,
+                position: 900,
+            },
         ];
         let text = write_vcf(&samples, &rows, &loci);
         let parsed = parse_vcf(&text).unwrap();

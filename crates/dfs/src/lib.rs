@@ -57,7 +57,10 @@ impl std::fmt::Display for DfsError {
             DfsError::FileExists(p) => write!(f, "file already exists: {p}"),
             DfsError::AllReplicasLost(b) => write!(f, "all replicas lost for block {b:?}"),
             DfsError::BadReplication { replication, nodes } => {
-                write!(f, "replication {replication} invalid for cluster size {nodes}")
+                write!(
+                    f,
+                    "replication {replication} invalid for cluster size {nodes}"
+                )
             }
         }
     }
@@ -280,10 +283,7 @@ mod tests {
         let (_, served_by) = fs.read_block(block, Some(locs[1])).unwrap();
         assert_eq!(served_by, locs[1]);
         // A reader holding no replica gets served remotely by some replica.
-        let non_replica = (0..4)
-            .map(NodeId)
-            .find(|n| !locs.contains(n))
-            .unwrap();
+        let non_replica = (0..4).map(NodeId).find(|n| !locs.contains(n)).unwrap();
         let (_, served_by) = fs.read_block(block, Some(non_replica)).unwrap();
         assert!(locs.contains(&served_by));
     }

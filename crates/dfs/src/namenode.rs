@@ -95,7 +95,11 @@ impl Namenode {
 
     /// All replica locations recorded for a block (no liveness filtering).
     pub fn replicas(&self, block: BlockId) -> Vec<NodeId> {
-        self.replicas.read().get(&block).cloned().unwrap_or_default()
+        self.replicas
+            .read()
+            .get(&block)
+            .cloned()
+            .unwrap_or_default()
     }
 }
 

@@ -46,11 +46,20 @@ struct CacheInner {
     clock: u64,
 }
 
-/// Outcome of a `put`, for the engine's metrics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Outcome of a `put`, for the engine's metrics and event stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PutOutcome {
     pub stored: bool,
-    pub evicted_blocks: u64,
+    /// Blocks evicted under budget pressure to make room, identified so
+    /// the engine can emit a `CacheEvicted` event per victim.
+    pub evicted: Vec<(OpId, usize)>,
+}
+
+impl PutOutcome {
+    /// Number of blocks evicted by this put.
+    pub fn evicted_blocks(&self) -> u64 {
+        self.evicted.len() as u64
+    }
 }
 
 /// LRU block cache with a byte budget.
@@ -134,10 +143,10 @@ impl CacheManager {
         if bytes > self.budget_bytes {
             return PutOutcome {
                 stored: false,
-                evicted_blocks: 0,
+                evicted: Vec::new(),
             };
         }
-        let mut evicted = 0u64;
+        let mut evicted = Vec::new();
         while g.used_bytes + bytes > self.budget_bytes {
             // Evict the least recently used block.
             let victim = g
@@ -149,7 +158,7 @@ impl CacheManager {
                 Some(k) => {
                     if let Some(e) = g.entries.remove(&k) {
                         g.used_bytes -= e.bytes;
-                        evicted += 1;
+                        evicted.push(k);
                     }
                 }
                 None => break,
@@ -172,7 +181,7 @@ impl CacheManager {
         g.ever_present.insert((op, part));
         PutOutcome {
             stored: true,
-            evicted_blocks: evicted,
+            evicted,
         }
     }
 
@@ -194,21 +203,18 @@ impl CacheManager {
     }
 
     /// Drop the single least-recently-used block (fault injection).
-    pub fn drop_lru_one(&self) -> bool {
+    /// Returns the dropped block's identity, if any block was resident.
+    pub fn drop_lru_one(&self) -> Option<(OpId, usize)> {
         let mut g = self.inner.lock();
         let victim = g
             .entries
             .iter()
             .min_by_key(|(_, e)| e.last_used)
-            .map(|(k, _)| *k);
-        if let Some(k) = victim {
-            if let Some(e) = g.entries.remove(&k) {
-                g.used_bytes -= e.bytes;
-            }
-            true
-        } else {
-            false
+            .map(|(k, _)| *k)?;
+        if let Some(e) = g.entries.remove(&victim) {
+            g.used_bytes -= e.bytes;
         }
+        Some(victim)
     }
 
     /// How many partitions of `op` are currently resident.
@@ -265,7 +271,8 @@ mod tests {
         assert!(c.get::<u64>(OpId(1), 0).is_some());
         let out = c.put(OpId(1), 2, block(100), N0);
         assert!(out.stored);
-        assert_eq!(out.evicted_blocks, 1);
+        assert_eq!(out.evicted, vec![(OpId(1), 1)], "victim is identified");
+        assert_eq!(out.evicted_blocks(), 1);
         assert!(c.get::<u64>(OpId(1), 0).is_some(), "recently used survives");
         assert!(c.get::<u64>(OpId(1), 1).is_none(), "LRU evicted");
         assert!(c.get::<u64>(OpId(1), 2).is_some());
@@ -284,9 +291,10 @@ mod tests {
         let c = CacheManager::new(1 << 20);
         assert!(!c.was_ever_present(OpId(1), 0));
         c.put(OpId(1), 0, block(1), N0);
-        c.drop_lru_one();
+        assert_eq!(c.drop_lru_one(), Some((OpId(1), 0)));
         assert!(c.was_ever_present(OpId(1), 0));
         assert!(c.get::<u64>(OpId(1), 0).is_none());
+        assert_eq!(c.drop_lru_one(), None, "cache is empty now");
     }
 
     #[test]

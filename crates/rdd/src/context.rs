@@ -22,6 +22,10 @@ pub struct TaskCtx<'a> {
     work_units: Cell<f64>,
     input_bytes: Cell<u64>,
     shuffle_read_bytes: Cell<u64>,
+    shuffle_write_bytes: Cell<u64>,
+    cache_hits: Cell<u64>,
+    cache_misses: Cell<u64>,
+    recomputed: Cell<u64>,
     preferred: RefCell<Vec<NodeId>>,
 }
 
@@ -34,6 +38,10 @@ impl<'a> TaskCtx<'a> {
             work_units: Cell::new(0.0),
             input_bytes: Cell::new(0),
             shuffle_read_bytes: Cell::new(0),
+            shuffle_write_bytes: Cell::new(0),
+            cache_hits: Cell::new(0),
+            cache_misses: Cell::new(0),
+            recomputed: Cell::new(0),
             preferred: RefCell::new(Vec::new()),
         }
     }
@@ -52,7 +60,8 @@ impl<'a> TaskCtx<'a> {
     /// plain map over small records).
     #[inline]
     pub fn add_work(&self, n: usize, weight: f64) {
-        self.work_units.set(self.work_units.get() + n as f64 * weight);
+        self.work_units
+            .set(self.work_units.get() + n as f64 * weight);
     }
 
     /// Record bytes read from the DFS (locality decided by the scheduler).
@@ -66,6 +75,31 @@ impl<'a> TaskCtx<'a> {
     pub fn add_shuffle_read(&self, bytes: u64) {
         self.shuffle_read_bytes
             .set(self.shuffle_read_bytes.get() + bytes);
+    }
+
+    /// Record bytes written to shuffle buckets (map-side tasks).
+    #[inline]
+    pub fn add_shuffle_write(&self, bytes: u64) {
+        self.shuffle_write_bytes
+            .set(self.shuffle_write_bytes.get() + bytes);
+    }
+
+    /// Record one cached-block read.
+    #[inline]
+    pub fn note_cache_hit(&self) {
+        self.cache_hits.set(self.cache_hits.get() + 1);
+    }
+
+    /// Record one cache lookup that missed.
+    #[inline]
+    pub fn note_cache_miss(&self) {
+        self.cache_misses.set(self.cache_misses.get() + 1);
+    }
+
+    /// Record one lineage recomputation of a previously-resident block.
+    #[inline]
+    pub fn note_recompute(&self) {
+        self.recomputed.set(self.recomputed.get() + 1);
     }
 
     /// Declare that running on `node` would make this task's reads local
@@ -93,6 +127,27 @@ impl<'a> TaskCtx<'a> {
 
     pub fn shuffle_read_bytes(&self) -> u64 {
         self.shuffle_read_bytes.get()
+    }
+
+    pub fn shuffle_write_bytes(&self) -> u64 {
+        self.shuffle_write_bytes.get()
+    }
+
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.get()
+    }
+
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses.get()
+    }
+
+    pub fn recomputed(&self) -> u64 {
+        self.recomputed.get()
+    }
+
+    /// Measured host execution time so far, nanoseconds.
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX)
     }
 
     /// Convert the task's measurements into a schedulable virtual task.

@@ -16,7 +16,9 @@ use sparkscore_dfs::DfsError;
 
 use crate::engine::{Engine, OpGuard};
 use crate::meta::{DepMeta, OpMeta};
-use crate::ops::narrow::{CoalesceOp, FilterOp, FlatMapOp, MapOp, MapPartitionsOp, SampleOp, UnionOp};
+use crate::ops::narrow::{
+    CoalesceOp, FilterOp, FlatMapOp, MapOp, MapPartitionsOp, SampleOp, UnionOp,
+};
 use crate::ops::shuffled::{Aggregator, CoGroupOp, ShuffledOp};
 use crate::ops::source::{ParallelizeOp, TextFileOp};
 use crate::ops::{materialize, Data, Op};
@@ -180,15 +182,17 @@ impl<T: Data> Dataset<T> {
         );
         Dataset {
             engine: Arc::clone(&self.engine),
-            op: Arc::new(FilterOp::new(id, guard, Arc::clone(&self.op), Arc::new(pred))),
+            op: Arc::new(FilterOp::new(
+                id,
+                guard,
+                Arc::clone(&self.op),
+                Arc::new(pred),
+            )),
         }
     }
 
     /// Apply `f` and flatten the results.
-    pub fn flat_map<U: Data>(
-        &self,
-        f: impl Fn(T) -> Vec<U> + Send + Sync + 'static,
-    ) -> Dataset<U> {
+    pub fn flat_map<U: Data>(&self, f: impl Fn(T) -> Vec<U> + Send + Sync + 'static) -> Dataset<U> {
         let (id, guard) = register_op(
             &self.engine,
             "flatMap",
@@ -267,7 +271,13 @@ impl<T: Data> Dataset<T> {
         );
         Dataset {
             engine: Arc::clone(&self.engine),
-            op: Arc::new(SampleOp::new(id, guard, Arc::clone(&self.op), fraction, seed)),
+            op: Arc::new(SampleOp::new(
+                id,
+                guard,
+                Arc::clone(&self.op),
+                fraction,
+                seed,
+            )),
         }
     }
 
@@ -327,7 +337,9 @@ impl<T: Data> Dataset<T> {
 
     /// Lineage tree, for debugging (Spark's `toDebugString`).
     pub fn lineage(&self) -> String {
-        self.engine.meta.lineage_string(self.op.id(), &self.engine.cache)
+        self.engine
+            .meta
+            .lineage_string(self.op.id(), &self.engine.cache)
     }
 
     // ---- actions (eager) ----
@@ -535,7 +547,10 @@ where
     }
 
     /// Transform values, keeping keys (and key partitioning semantics).
-    pub fn map_values<U: Data>(&self, f: impl Fn(V) -> U + Send + Sync + 'static) -> Dataset<(K, U)> {
+    pub fn map_values<U: Data>(
+        &self,
+        f: impl Fn(V) -> U + Send + Sync + 'static,
+    ) -> Dataset<(K, U)> {
         self.map(move |(k, v)| (k, f(v)))
     }
 
@@ -594,15 +609,16 @@ where
         other: &Dataset<(K, W)>,
         num_reduce_parts: usize,
     ) -> Dataset<(K, (V, W))> {
-        self.co_group(other, num_reduce_parts).flat_map(|(k, (vs, ws))| {
-            let mut out = Vec::with_capacity(vs.len() * ws.len());
-            for v in &vs {
-                for w in &ws {
-                    out.push((k.clone(), (v.clone(), w.clone())));
+        self.co_group(other, num_reduce_parts)
+            .flat_map(|(k, (vs, ws))| {
+                let mut out = Vec::with_capacity(vs.len() * ws.len());
+                for v in &vs {
+                    for w in &ws {
+                        out.push((k.clone(), (v.clone(), w.clone())));
+                    }
                 }
-            }
-            out
-        })
+                out
+            })
     }
 
     /// Collect to a driver-side map. Later duplicates of a key win, as in

@@ -30,6 +30,7 @@ use sparkscore_dfs::Dfs;
 use crate::cache::CacheManager;
 use crate::context::TaskCtx;
 use crate::estimate::EstimateSize;
+use crate::events::{EngineEvent, EventBus, EventListener, FaultDetail, StageKind, TaskMetrics};
 use crate::meta::MetaRegistry;
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::shuffle::{hash_key, ShuffleManager};
@@ -49,6 +50,7 @@ pub struct EngineBuilder {
     cache_budget_override: Option<u64>,
     host_threads: Option<usize>,
     fault_plan: Arc<FaultPlan>,
+    listeners: Vec<Arc<dyn EventListener>>,
 }
 
 impl EngineBuilder {
@@ -63,6 +65,7 @@ impl EngineBuilder {
             cache_budget_override: None,
             host_threads: None,
             fault_plan: Arc::new(FaultPlan::none()),
+            listeners: Vec::new(),
         }
     }
 
@@ -115,6 +118,13 @@ impl EngineBuilder {
         self
     }
 
+    /// Attach an event listener; it will see every [`EngineEvent`] the
+    /// engine emits. More can be added later via [`Engine::events`].
+    pub fn listener(mut self, listener: Arc<dyn EventListener>) -> Self {
+        self.listeners.push(listener);
+        self
+    }
+
     pub fn build(self) -> Arc<Engine> {
         let cluster = Arc::new(Cluster::provision(self.spec));
         let replication = self
@@ -126,17 +136,16 @@ impl EngineBuilder {
         );
         let rm = ResourceManager::new(Arc::clone(&cluster));
         let layout = match self.containers {
-            Some(req) => rm.allocate(req).expect("container request must fit cluster"),
+            Some(req) => rm
+                .allocate(req)
+                .expect("container request must fit cluster"),
             None => rm.one_executor_per_node(),
         };
         let cache_budget = self
             .cache_budget_override
             .unwrap_or_else(|| (layout.total_memory_bytes() as f64 * self.cache_fraction) as u64);
-        let vsched = VirtualScheduler::new(
-            &layout,
-            &cluster.spec().instance,
-            self.cost_model.clone(),
-        );
+        let vsched =
+            VirtualScheduler::new(&layout, &cluster.spec().instance, self.cost_model.clone());
         let host_threads = self
             .host_threads
             .unwrap_or_else(|| {
@@ -145,6 +154,10 @@ impl EngineBuilder {
                     .unwrap_or(4)
             })
             .max(1);
+        let events = EventBus::new();
+        for l in self.listeners {
+            events.register(l);
+        }
         Arc::new(Engine {
             cluster,
             dfs,
@@ -157,9 +170,12 @@ impl EngineBuilder {
             vclock: VirtualClock::new(),
             vsched: Mutex::new(vsched),
             fault_plan: RwLock::new(self.fault_plan),
+            events,
             next_op: AtomicU64::new(0),
             next_shuffle: AtomicU64::new(0),
             next_broadcast: AtomicU64::new(0),
+            next_job: AtomicU64::new(0),
+            next_stage: AtomicU64::new(0),
             host_threads,
         })
     }
@@ -178,9 +194,12 @@ pub struct Engine {
     vclock: VirtualClock,
     vsched: Mutex<VirtualScheduler>,
     fault_plan: RwLock<Arc<FaultPlan>>,
+    events: EventBus,
     next_op: AtomicU64,
     next_shuffle: AtomicU64,
     next_broadcast: AtomicU64,
+    next_job: AtomicU64,
+    next_stage: AtomicU64,
     host_threads: usize,
 }
 
@@ -243,6 +262,13 @@ impl Engine {
         *self.fault_plan.write() = Arc::new(plan);
     }
 
+    /// The engine's event bus — register an [`EventListener`] here to
+    /// observe job/stage/task execution, cache evictions, shuffle re-runs,
+    /// and injected faults.
+    pub fn events(&self) -> &EventBus {
+        &self.events
+    }
+
     pub(crate) fn new_op_id(&self) -> OpId {
         OpId(self.next_op.fetch_add(1, Ordering::Relaxed))
     }
@@ -282,7 +308,27 @@ impl Engine {
     /// Run one stage: execute `f` for every partition index in `parts` on
     /// the host pool, then list-schedule the measured costs onto the
     /// virtual cluster. Returns results in `parts` order.
+    ///
+    /// Untagged convenience over [`Engine::run_stage_tagged`] for stages
+    /// run outside a job (tests and ad-hoc internal work).
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn run_stage<R, F>(&self, parts: &[usize], f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, &TaskCtx<'_>) -> R + Sync,
+    {
+        self.run_stage_tagged(parts, None, StageKind::Result, f)
+    }
+
+    /// [`Engine::run_stage`] with event attribution: the owning job (if
+    /// any) and whether this is a result or shuffle-map stage.
+    pub(crate) fn run_stage_tagged<R, F>(
+        &self,
+        parts: &[usize],
+        job: Option<u64>,
+        kind: StageKind,
+        f: F,
+    ) -> Vec<R>
     where
         R: Send,
         F: Fn(usize, &TaskCtx<'_>) -> R + Sync,
@@ -291,9 +337,19 @@ impl Engine {
         if parts.is_empty() {
             return Vec::new();
         }
+        let stage = self.next_stage.fetch_add(1, Ordering::Relaxed);
         let n = parts.len();
+        self.events.emit_with(|| EngineEvent::StageSubmitted {
+            job,
+            stage,
+            kind,
+            num_tasks: n,
+        });
         let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
         let vtasks: Mutex<Vec<Option<VirtualTask>>> = Mutex::new((0..n).map(|_| None).collect());
+        // Task measurements missing their virtual placement, which is only
+        // known after the whole batch is list-scheduled below.
+        let partial: Mutex<Vec<Option<TaskMetrics>>> = Mutex::new((0..n).map(|_| None).collect());
         let next = AtomicUsize::new(0);
         let workers = self.host_threads.min(n);
         std::thread::scope(|scope| {
@@ -303,10 +359,27 @@ impl Engine {
                     if i >= n {
                         break;
                     }
+                    self.events.emit_with(|| EngineEvent::TaskStart {
+                        stage,
+                        partition: parts[i],
+                    });
                     let ctx = TaskCtx::new(self, parts[i]);
                     let r = f(parts[i], &ctx);
                     let vt = ctx.to_virtual_task(&self.cost_model);
                     Metrics::bump(&self.metrics.tasks);
+                    if self.events.is_active() {
+                        partial.lock()[i] = Some(TaskMetrics {
+                            partition: parts[i],
+                            wall_ns: ctx.elapsed_ns(),
+                            input_bytes: ctx.input_bytes(),
+                            shuffle_read_bytes: ctx.shuffle_read_bytes(),
+                            shuffle_write_bytes: ctx.shuffle_write_bytes(),
+                            cache_hits: ctx.cache_hits(),
+                            cache_misses: ctx.cache_misses(),
+                            recomputed_partitions: ctx.recomputed(),
+                            ..TaskMetrics::default()
+                        });
+                    }
                     results.lock()[i] = Some(r);
                     vtasks.lock()[i] = Some(vt);
                     self.on_task_complete();
@@ -321,6 +394,29 @@ impl Engine {
         let outcome = self.vsched.lock().schedule(&vtasks);
         self.vclock.advance(self.cost_model.stage_overhead_ns);
         Metrics::add(&self.metrics.input_local_reads, outcome.local_reads as u64);
+        if self.events.is_active() {
+            // Fill in each task's virtual placement and emit TaskEnd in
+            // partition order (outcome.tasks is index-aligned with vtasks).
+            for (i, partial) in partial.into_inner().into_iter().enumerate() {
+                let mut m = partial.expect("every task recorded metrics");
+                m.virtual_compute_ns = vtasks[i].compute_ns;
+                let placed = &outcome.tasks[i];
+                m.virtual_start_ns = placed.start_ns;
+                m.virtual_finish_ns = placed.finish_ns;
+                m.node = u64::from(placed.node.0);
+                m.executor = placed.executor;
+                m.input_local = placed.input_local;
+                self.events
+                    .emit(&EngineEvent::TaskEnd { stage, metrics: m });
+            }
+            self.events.emit(&EngineEvent::StageCompleted {
+                job,
+                stage,
+                kind,
+                makespan_ns: outcome.makespan_ns,
+                local_reads: outcome.local_reads,
+            });
+        }
         results
             .into_inner()
             .into_iter()
@@ -329,7 +425,7 @@ impl Engine {
     }
 
     /// Materialize a shuffle's missing map outputs as one parallel stage.
-    pub(crate) fn ensure_shuffle(&self, sid: ShuffleId) {
+    pub(crate) fn ensure_shuffle(&self, sid: ShuffleId, job: Option<u64>) {
         let missing = self.shuffle.missing_map_parts(sid);
         if missing.is_empty() {
             return;
@@ -338,7 +434,9 @@ impl Engine {
             return;
         };
         Metrics::add(&self.metrics.shuffle_map_tasks, missing.len() as u64);
-        self.run_stage(&missing, |part, ctx| runner(part, ctx));
+        self.run_stage_tagged(&missing, job, StageKind::ShuffleMap, |part, ctx| {
+            runner(part, ctx)
+        });
     }
 
     /// Re-run one lost map task inline on the current task's thread —
@@ -348,6 +446,10 @@ impl Engine {
         if let Some(runner) = self.shuffle.map_task_runner(sid) {
             Metrics::bump(&self.metrics.shuffle_map_reruns);
             Metrics::bump(&self.metrics.shuffle_map_tasks);
+            self.events.emit_with(|| EngineEvent::ShuffleMapRerun {
+                shuffle: sid.0,
+                map_part,
+            });
             runner(map_part, ctx);
         }
     }
@@ -361,6 +463,12 @@ impl Engine {
         F: Fn(usize, &TaskCtx<'_>) -> R + Sync,
     {
         Metrics::bump(&self.metrics.jobs);
+        let job = self.next_job.fetch_add(1, Ordering::Relaxed);
+        let vclock_before = self.vclock.now_ns();
+        self.events.emit_with(|| EngineEvent::JobStart {
+            job,
+            virtual_now_ns: vclock_before,
+        });
         let horizon_before = {
             let mut sched = self.vsched.lock();
             // Jobs are sequential on the driver: no task of this job can
@@ -369,13 +477,18 @@ impl Engine {
             sched.horizon_ns()
         };
         for sid in self.meta.plan_shuffles(target, &self.cache) {
-            self.ensure_shuffle(sid);
+            self.ensure_shuffle(sid, Some(job));
         }
         let parts: Vec<usize> = (0..num_partitions).collect();
-        let out = self.run_stage(&parts, f);
+        let out = self.run_stage_tagged(&parts, Some(job), StageKind::Result, f);
         let horizon_after = self.vsched.lock().horizon_ns();
         self.vclock
             .advance(horizon_after.saturating_sub(horizon_before));
+        self.events.emit_with(|| EngineEvent::JobEnd {
+            job,
+            virtual_now_ns: self.vclock.now_ns(),
+            virtual_advance_ns: self.vclock.now_ns().saturating_sub(vclock_before),
+        });
         out
     }
 
@@ -394,13 +507,37 @@ impl Engine {
                     self.cache.drop_node(node);
                     self.shuffle.drop_node(node);
                     self.vsched.lock().remove_node_checked(node);
+                    self.events.emit_with(|| EngineEvent::FaultInjected {
+                        fault: FaultDetail::KillNode {
+                            node: u64::from(node.0),
+                        },
+                    });
                 }
             }
             FaultEvent::DropCachedBlock => {
-                self.cache.drop_lru_one();
+                if let Some((op, partition)) = self.cache.drop_lru_one() {
+                    self.events.emit_with(|| EngineEvent::FaultInjected {
+                        fault: FaultDetail::DropCachedBlock {
+                            op: op.0,
+                            partition,
+                        },
+                    });
+                    self.events.emit_with(|| EngineEvent::CacheEvicted {
+                        op: op.0,
+                        partition,
+                        pressure: false,
+                    });
+                }
             }
             FaultEvent::DropShuffleOutput => {
-                self.shuffle.drop_one();
+                if let Some((sid, map_part)) = self.shuffle.drop_one() {
+                    self.events.emit_with(|| EngineEvent::FaultInjected {
+                        fault: FaultDetail::DropShuffleOutput {
+                            shuffle: sid.0,
+                            map_part,
+                        },
+                    });
+                }
             }
         }
     }

@@ -29,7 +29,25 @@ macro_rules! pod_estimate {
     };
 }
 
-pod_estimate!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char, ());
+pod_estimate!(
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    f32,
+    f64,
+    bool,
+    char,
+    ()
+);
 
 impl EstimateSize for String {
     #[inline]
@@ -50,7 +68,9 @@ impl<T: EstimateSize> EstimateSize for Option<T> {
     #[inline]
     fn estimate_bytes(&self) -> usize {
         std::mem::size_of::<Option<T>>()
-            + self.as_ref().map_or(0, |v| v.estimate_bytes().saturating_sub(std::mem::size_of::<T>()))
+            + self.as_ref().map_or(0, |v| {
+                v.estimate_bytes().saturating_sub(std::mem::size_of::<T>())
+            })
     }
 }
 
@@ -138,7 +158,10 @@ mod tests {
         let b = vec![0f64; 200];
         let (sa, sb) = (slice_bytes(&a), slice_bytes(&b));
         assert!(sb > sa);
-        assert_eq!(sb - std::mem::size_of::<Vec<f64>>(), 2 * (sa - std::mem::size_of::<Vec<f64>>()));
+        assert_eq!(
+            sb - std::mem::size_of::<Vec<f64>>(),
+            2 * (sa - std::mem::size_of::<Vec<f64>>())
+        );
     }
 
     #[test]

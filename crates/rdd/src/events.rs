@@ -1,0 +1,1028 @@
+//! Engine observability: typed events, a listener bus, and built-in
+//! listeners (JSONL event log, per-stage summaries, console progress).
+//!
+//! This is the crate's analogue of Spark's `SparkListener` machinery. The
+//! engine emits an [`EngineEvent`] at every interesting execution boundary
+//! — job start/end, stage submission/completion, per-task completion with
+//! a full [`TaskMetrics`] record, cache evictions, shuffle map re-runs,
+//! and injected faults — onto an [`EventBus`]. Listeners implement
+//! [`EventListener`] and are registered either on the
+//! [`crate::engine::EngineBuilder`] or on a live engine via
+//! [`crate::Engine::events`].
+//!
+//! Emission is lock-cheap: with no listeners registered the engine pays a
+//! single relaxed atomic load per site and never constructs the event, so
+//! an unobserved engine runs at full speed.
+//!
+//! Built-ins:
+//! * [`EventLogListener`] — one JSON object per line to any writer, in the
+//!   spirit of Spark's event log (`spark.eventLog.enabled`). Events
+//!   round-trip through [`EngineEvent::to_json`]/[`EngineEvent::from_json`].
+//! * [`StageSummaryListener`] — aggregates per-stage task-time spread
+//!   (min/p50/max, for straggler detection), shuffle and cache totals, and
+//!   renders a per-job report table with [`StageSummaryListener::report`].
+//! * [`ConsoleProgressListener`] — opt-in lightweight progress lines on
+//!   stderr as jobs and stages complete.
+//! * [`MemoryEventListener`] — records events in memory, for tests and for
+//!   programs that inspect the stream after a run.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use serde_json::Value;
+
+/// What a stage computes: the job's result partitions, or shuffle map
+/// outputs feeding a downstream stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageKind {
+    Result,
+    ShuffleMap,
+}
+
+impl StageKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            StageKind::Result => "Result",
+            StageKind::ShuffleMap => "ShuffleMap",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, serde_json::Error> {
+        match s {
+            "Result" => Ok(StageKind::Result),
+            "ShuffleMap" => Ok(StageKind::ShuffleMap),
+            other => Err(raise(format!("unknown stage kind {other:?}"))),
+        }
+    }
+}
+
+/// Everything measured about one completed task.
+///
+/// `wall_ns` is the task's measured host-thread time; the `virtual_*`
+/// fields are its placement on the simulated cluster: which node/executor
+/// ran it and over which virtual interval (the paper's y-axis quantity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TaskMetrics {
+    pub partition: usize,
+    /// Measured host execution time.
+    pub wall_ns: u64,
+    /// Modeled compute cost fed to the virtual scheduler.
+    pub virtual_compute_ns: u64,
+    /// Virtual start time on the assigned executor slot.
+    pub virtual_start_ns: u64,
+    /// Virtual finish time (start + compute + modeled I/O).
+    pub virtual_finish_ns: u64,
+    /// Virtual node the task was placed on.
+    pub node: u64,
+    /// Executor index on that node.
+    pub executor: u32,
+    /// Whether the task's input was read from a local replica.
+    pub input_local: bool,
+    pub input_bytes: u64,
+    pub shuffle_read_bytes: u64,
+    pub shuffle_write_bytes: u64,
+    /// Cached blocks this task read.
+    pub cache_hits: u64,
+    /// Cache lookups that missed and forced computation.
+    pub cache_misses: u64,
+    /// Misses on blocks that were previously resident — lineage recovery
+    /// recomputed data that had been cached and lost.
+    pub recomputed_partitions: u64,
+}
+
+impl TaskMetrics {
+    /// Virtual runtime: scheduled finish minus scheduled start.
+    pub fn virtual_runtime_ns(&self) -> u64 {
+        self.virtual_finish_ns.saturating_sub(self.virtual_start_ns)
+    }
+}
+
+/// The effect of one injected [`sparkscore_cluster::FaultEvent`]. Drop
+/// faults identify the victim so the event stream can be correlated with
+/// the recomputation that follows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultDetail {
+    KillNode { node: u64 },
+    DropCachedBlock { op: u64, partition: usize },
+    DropShuffleOutput { shuffle: u64, map_part: usize },
+}
+
+/// One engine execution event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineEvent {
+    JobStart {
+        job: u64,
+        /// Virtual clock when the job was submitted.
+        virtual_now_ns: u64,
+    },
+    JobEnd {
+        job: u64,
+        virtual_now_ns: u64,
+        /// How much virtual time this job added to the clock.
+        virtual_advance_ns: u64,
+    },
+    StageSubmitted {
+        /// `None` for stages run outside a job (engine-internal work).
+        job: Option<u64>,
+        stage: u64,
+        kind: StageKind,
+        num_tasks: usize,
+    },
+    StageCompleted {
+        job: Option<u64>,
+        stage: u64,
+        kind: StageKind,
+        /// Virtual makespan of the stage's task batch.
+        makespan_ns: u64,
+        /// Tasks whose input was read from a local replica.
+        local_reads: usize,
+    },
+    TaskStart {
+        stage: u64,
+        partition: usize,
+    },
+    TaskEnd {
+        stage: u64,
+        metrics: TaskMetrics,
+    },
+    /// A cached block left the cache: LRU pressure (`pressure: true`) or a
+    /// fault/unpersist path (`pressure: false`).
+    CacheEvicted {
+        op: u64,
+        partition: usize,
+        pressure: bool,
+    },
+    /// A lost shuffle map output was recomputed inline by a reducer.
+    ShuffleMapRerun {
+        shuffle: u64,
+        map_part: usize,
+    },
+    /// A fault plan fired and had an effect.
+    FaultInjected {
+        fault: FaultDetail,
+    },
+}
+
+fn raise(msg: impl Into<String>) -> serde_json::Error {
+    serde_json::Error::Raise(serde::Error::new(msg))
+}
+
+fn field<'v>(v: &'v Value, key: &str) -> Result<&'v Value, serde_json::Error> {
+    v.get(key)
+        .ok_or_else(|| raise(format!("missing field {key:?}")))
+}
+
+fn get_u64(v: &Value, key: &str) -> Result<u64, serde_json::Error> {
+    field(v, key)?
+        .as_u64()
+        .ok_or_else(|| raise(format!("field {key:?} is not a u64")))
+}
+
+fn get_usize(v: &Value, key: &str) -> Result<usize, serde_json::Error> {
+    usize::try_from(get_u64(v, key)?).map_err(|_| raise(format!("field {key:?} out of range")))
+}
+
+fn get_bool(v: &Value, key: &str) -> Result<bool, serde_json::Error> {
+    field(v, key)?
+        .as_bool()
+        .ok_or_else(|| raise(format!("field {key:?} is not a bool")))
+}
+
+fn get_opt_u64(v: &Value, key: &str) -> Result<Option<u64>, serde_json::Error> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(Value::Null) => Ok(None),
+        Some(inner) => inner
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| raise(format!("field {key:?} is not a u64 or null"))),
+    }
+}
+
+fn opt_u64_value(v: Option<u64>) -> Value {
+    match v {
+        Some(n) => Value::from(n),
+        None => Value::Null,
+    }
+}
+
+impl TaskMetrics {
+    fn to_json(self) -> Value {
+        serde_json::json!({
+            "partition": self.partition as u64,
+            "wall_ns": self.wall_ns,
+            "virtual_compute_ns": self.virtual_compute_ns,
+            "virtual_start_ns": self.virtual_start_ns,
+            "virtual_finish_ns": self.virtual_finish_ns,
+            "node": self.node,
+            "executor": self.executor as u64,
+            "input_local": self.input_local,
+            "input_bytes": self.input_bytes,
+            "shuffle_read_bytes": self.shuffle_read_bytes,
+            "shuffle_write_bytes": self.shuffle_write_bytes,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "recomputed_partitions": self.recomputed_partitions,
+        })
+    }
+
+    fn from_json(v: &Value) -> Result<Self, serde_json::Error> {
+        Ok(TaskMetrics {
+            partition: get_usize(v, "partition")?,
+            wall_ns: get_u64(v, "wall_ns")?,
+            virtual_compute_ns: get_u64(v, "virtual_compute_ns")?,
+            virtual_start_ns: get_u64(v, "virtual_start_ns")?,
+            virtual_finish_ns: get_u64(v, "virtual_finish_ns")?,
+            node: get_u64(v, "node")?,
+            executor: u32::try_from(get_u64(v, "executor")?)
+                .map_err(|_| raise("executor out of range"))?,
+            input_local: get_bool(v, "input_local")?,
+            input_bytes: get_u64(v, "input_bytes")?,
+            shuffle_read_bytes: get_u64(v, "shuffle_read_bytes")?,
+            shuffle_write_bytes: get_u64(v, "shuffle_write_bytes")?,
+            cache_hits: get_u64(v, "cache_hits")?,
+            cache_misses: get_u64(v, "cache_misses")?,
+            recomputed_partitions: get_u64(v, "recomputed_partitions")?,
+        })
+    }
+}
+
+impl FaultDetail {
+    fn to_json(self) -> Value {
+        match self {
+            FaultDetail::KillNode { node } => {
+                serde_json::json!({"kind": "KillNode", "node": node})
+            }
+            FaultDetail::DropCachedBlock { op, partition } => {
+                serde_json::json!({"kind": "DropCachedBlock", "op": op, "partition": partition as u64})
+            }
+            FaultDetail::DropShuffleOutput { shuffle, map_part } => {
+                serde_json::json!({"kind": "DropShuffleOutput", "shuffle": shuffle, "map_part": map_part as u64})
+            }
+        }
+    }
+
+    fn from_json(v: &Value) -> Result<Self, serde_json::Error> {
+        let kind = field(v, "kind")?
+            .as_str()
+            .ok_or_else(|| raise("fault kind is not a string"))?;
+        match kind {
+            "KillNode" => Ok(FaultDetail::KillNode {
+                node: get_u64(v, "node")?,
+            }),
+            "DropCachedBlock" => Ok(FaultDetail::DropCachedBlock {
+                op: get_u64(v, "op")?,
+                partition: get_usize(v, "partition")?,
+            }),
+            "DropShuffleOutput" => Ok(FaultDetail::DropShuffleOutput {
+                shuffle: get_u64(v, "shuffle")?,
+                map_part: get_usize(v, "map_part")?,
+            }),
+            other => Err(raise(format!("unknown fault kind {other:?}"))),
+        }
+    }
+}
+
+impl EngineEvent {
+    /// Short event name — the `"Event"` discriminator in the JSON form,
+    /// mirroring Spark's event-log convention.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EngineEvent::JobStart { .. } => "JobStart",
+            EngineEvent::JobEnd { .. } => "JobEnd",
+            EngineEvent::StageSubmitted { .. } => "StageSubmitted",
+            EngineEvent::StageCompleted { .. } => "StageCompleted",
+            EngineEvent::TaskStart { .. } => "TaskStart",
+            EngineEvent::TaskEnd { .. } => "TaskEnd",
+            EngineEvent::CacheEvicted { .. } => "CacheEvicted",
+            EngineEvent::ShuffleMapRerun { .. } => "ShuffleMapRerun",
+            EngineEvent::FaultInjected { .. } => "FaultInjected",
+        }
+    }
+
+    /// Serialize to a JSON object with an `"Event"` discriminator.
+    pub fn to_json(&self) -> Value {
+        match self {
+            EngineEvent::JobStart {
+                job,
+                virtual_now_ns,
+            } => serde_json::json!({
+                "Event": "JobStart",
+                "job": *job,
+                "virtual_now_ns": *virtual_now_ns,
+            }),
+            EngineEvent::JobEnd {
+                job,
+                virtual_now_ns,
+                virtual_advance_ns,
+            } => serde_json::json!({
+                "Event": "JobEnd",
+                "job": *job,
+                "virtual_now_ns": *virtual_now_ns,
+                "virtual_advance_ns": *virtual_advance_ns,
+            }),
+            EngineEvent::StageSubmitted {
+                job,
+                stage,
+                kind,
+                num_tasks,
+            } => serde_json::json!({
+                "Event": "StageSubmitted",
+                "job": opt_u64_value(*job),
+                "stage": *stage,
+                "kind": kind.as_str(),
+                "num_tasks": *num_tasks as u64,
+            }),
+            EngineEvent::StageCompleted {
+                job,
+                stage,
+                kind,
+                makespan_ns,
+                local_reads,
+            } => serde_json::json!({
+                "Event": "StageCompleted",
+                "job": opt_u64_value(*job),
+                "stage": *stage,
+                "kind": kind.as_str(),
+                "makespan_ns": *makespan_ns,
+                "local_reads": *local_reads as u64,
+            }),
+            EngineEvent::TaskStart { stage, partition } => serde_json::json!({
+                "Event": "TaskStart",
+                "stage": *stage,
+                "partition": *partition as u64,
+            }),
+            EngineEvent::TaskEnd { stage, metrics } => serde_json::json!({
+                "Event": "TaskEnd",
+                "stage": *stage,
+                "metrics": metrics.to_json(),
+            }),
+            EngineEvent::CacheEvicted {
+                op,
+                partition,
+                pressure,
+            } => serde_json::json!({
+                "Event": "CacheEvicted",
+                "op": *op,
+                "partition": *partition as u64,
+                "pressure": *pressure,
+            }),
+            EngineEvent::ShuffleMapRerun { shuffle, map_part } => serde_json::json!({
+                "Event": "ShuffleMapRerun",
+                "shuffle": *shuffle,
+                "map_part": *map_part as u64,
+            }),
+            EngineEvent::FaultInjected { fault } => serde_json::json!({
+                "Event": "FaultInjected",
+                "fault": fault.to_json(),
+            }),
+        }
+    }
+
+    /// Parse the JSON form back into a typed event.
+    pub fn from_json(v: &Value) -> Result<Self, serde_json::Error> {
+        let name = field(v, "Event")?
+            .as_str()
+            .ok_or_else(|| raise("\"Event\" is not a string"))?;
+        match name {
+            "JobStart" => Ok(EngineEvent::JobStart {
+                job: get_u64(v, "job")?,
+                virtual_now_ns: get_u64(v, "virtual_now_ns")?,
+            }),
+            "JobEnd" => Ok(EngineEvent::JobEnd {
+                job: get_u64(v, "job")?,
+                virtual_now_ns: get_u64(v, "virtual_now_ns")?,
+                virtual_advance_ns: get_u64(v, "virtual_advance_ns")?,
+            }),
+            "StageSubmitted" => Ok(EngineEvent::StageSubmitted {
+                job: get_opt_u64(v, "job")?,
+                stage: get_u64(v, "stage")?,
+                kind: StageKind::parse(
+                    field(v, "kind")?
+                        .as_str()
+                        .ok_or_else(|| raise("kind is not a string"))?,
+                )?,
+                num_tasks: get_usize(v, "num_tasks")?,
+            }),
+            "StageCompleted" => Ok(EngineEvent::StageCompleted {
+                job: get_opt_u64(v, "job")?,
+                stage: get_u64(v, "stage")?,
+                kind: StageKind::parse(
+                    field(v, "kind")?
+                        .as_str()
+                        .ok_or_else(|| raise("kind is not a string"))?,
+                )?,
+                makespan_ns: get_u64(v, "makespan_ns")?,
+                local_reads: get_usize(v, "local_reads")?,
+            }),
+            "TaskStart" => Ok(EngineEvent::TaskStart {
+                stage: get_u64(v, "stage")?,
+                partition: get_usize(v, "partition")?,
+            }),
+            "TaskEnd" => Ok(EngineEvent::TaskEnd {
+                stage: get_u64(v, "stage")?,
+                metrics: TaskMetrics::from_json(field(v, "metrics")?)?,
+            }),
+            "CacheEvicted" => Ok(EngineEvent::CacheEvicted {
+                op: get_u64(v, "op")?,
+                partition: get_usize(v, "partition")?,
+                pressure: get_bool(v, "pressure")?,
+            }),
+            "ShuffleMapRerun" => Ok(EngineEvent::ShuffleMapRerun {
+                shuffle: get_u64(v, "shuffle")?,
+                map_part: get_usize(v, "map_part")?,
+            }),
+            "FaultInjected" => Ok(EngineEvent::FaultInjected {
+                fault: FaultDetail::from_json(field(v, "fault")?)?,
+            }),
+            other => Err(raise(format!("unknown event {other:?}"))),
+        }
+    }
+}
+
+/// Receives every event the engine emits. Callbacks run synchronously on
+/// the emitting thread (worker threads for task events, the driver thread
+/// for the rest), so implementations should be quick and must be
+/// thread-safe.
+pub trait EventListener: Send + Sync {
+    fn on_event(&self, event: &EngineEvent);
+}
+
+/// Fan-out point between the engine and its listeners.
+///
+/// The hot path is the *inactive* bus: one relaxed atomic load and no
+/// event construction. Listener registration is expected to happen at
+/// setup time; dispatch takes a read lock only when at least one listener
+/// exists.
+#[derive(Default)]
+pub struct EventBus {
+    listeners: RwLock<Vec<Arc<dyn EventListener>>>,
+    active: AtomicBool,
+}
+
+impl EventBus {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attach a listener; it receives every event emitted from now on.
+    pub fn register(&self, listener: Arc<dyn EventListener>) {
+        self.listeners.write().push(listener);
+        self.active.store(true, Ordering::Release);
+    }
+
+    /// Drop all listeners (the bus goes back to the free fast path).
+    pub fn clear(&self) {
+        self.listeners.write().clear();
+        self.active.store(false, Ordering::Release);
+    }
+
+    pub fn num_listeners(&self) -> usize {
+        self.listeners.read().len()
+    }
+
+    /// Whether any listener is attached.
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    /// Dispatch an already-built event to all listeners.
+    pub fn emit(&self, event: &EngineEvent) {
+        if !self.is_active() {
+            return;
+        }
+        for l in self.listeners.read().iter() {
+            l.on_event(event);
+        }
+    }
+
+    /// Build the event only if someone is listening — the engine's
+    /// emission sites use this so an unobserved engine never pays for
+    /// event construction.
+    #[inline]
+    pub fn emit_with(&self, make: impl FnOnce() -> EngineEvent) {
+        if !self.is_active() {
+            return;
+        }
+        let event = make();
+        for l in self.listeners.read().iter() {
+            l.on_event(&event);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Built-in listeners
+// ---------------------------------------------------------------------------
+
+/// Writes one JSON object per line for every event — the Spark event-log
+/// format adapted to this engine. The writer is flushed on drop.
+pub struct EventLogListener {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl EventLogListener {
+    pub fn new(writer: impl Write + Send + 'static) -> Self {
+        EventLogListener {
+            out: Mutex::new(Box::new(writer)),
+        }
+    }
+
+    /// Log to a file, creating parent directories as needed.
+    pub fn to_file(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let path = path.as_ref();
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let file = std::io::BufWriter::new(std::fs::File::create(path)?);
+        Ok(Self::new(file))
+    }
+
+    pub fn flush(&self) -> std::io::Result<()> {
+        self.out.lock().flush()
+    }
+}
+
+impl EventListener for EventLogListener {
+    fn on_event(&self, event: &EngineEvent) {
+        let line = event.to_json().to_string();
+        let mut out = self.out.lock();
+        // An unwritable log must not take down the computation it observes.
+        let _ = writeln!(out, "{line}");
+    }
+}
+
+impl Drop for EventLogListener {
+    fn drop(&mut self) {
+        let _ = self.out.lock().flush();
+    }
+}
+
+/// Parse a JSONL event log produced by [`EventLogListener`] back into
+/// typed events (blank lines are skipped).
+pub fn parse_event_log(text: &str) -> Result<Vec<EngineEvent>, serde_json::Error> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .map(|l| {
+            EngineEvent::from_json(
+                &serde_json::from_str_value(l).map_err(serde_json::Error::Parse)?,
+            )
+        })
+        .collect()
+}
+
+/// Aggregated statistics for one completed stage.
+#[derive(Debug, Clone, Default)]
+pub struct StageSummary {
+    pub job: Option<u64>,
+    pub stage: u64,
+    pub kind: Option<StageKind>,
+    pub num_tasks: usize,
+    /// Per-task virtual runtimes, in completion order.
+    pub task_virtual_ns: Vec<u64>,
+    /// Per-task measured host runtimes, in completion order.
+    pub task_wall_ns: Vec<u64>,
+    pub input_bytes: u64,
+    pub shuffle_read_bytes: u64,
+    pub shuffle_write_bytes: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub recomputed_partitions: u64,
+    pub makespan_ns: u64,
+    pub local_reads: usize,
+}
+
+impl StageSummary {
+    /// (min, p50, max) of per-task virtual runtimes — the straggler view.
+    pub fn virtual_spread_ns(&self) -> (u64, u64, u64) {
+        spread(&self.task_virtual_ns)
+    }
+
+    /// (min, p50, max) of per-task host wall runtimes.
+    pub fn wall_spread_ns(&self) -> (u64, u64, u64) {
+        spread(&self.task_wall_ns)
+    }
+
+    /// Fraction of cache lookups that hit, if any lookups happened.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let total = self.cache_hits + self.cache_misses;
+        (total > 0).then(|| self.cache_hits as f64 / total as f64)
+    }
+}
+
+fn spread(values: &[u64]) -> (u64, u64, u64) {
+    if values.is_empty() {
+        return (0, 0, 0);
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    (
+        sorted[0],
+        sorted[sorted.len() / 2],
+        sorted[sorted.len() - 1],
+    )
+}
+
+/// Collects per-stage task statistics and renders a per-job report table:
+/// task counts, task-time min/p50/max (stragglers), shuffle read/write
+/// volumes, cache hit rates, and virtual-vs-wall time.
+#[derive(Default)]
+pub struct StageSummaryListener {
+    stages: Mutex<Vec<StageSummary>>,
+}
+
+impl StageSummaryListener {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of all stages seen so far, in submission order.
+    pub fn summaries(&self) -> Vec<StageSummary> {
+        self.stages.lock().clone()
+    }
+
+    fn with_stage(&self, stage: u64, f: impl FnOnce(&mut StageSummary)) {
+        let mut stages = self.stages.lock();
+        match stages.iter_mut().find(|s| s.stage == stage) {
+            Some(s) => f(s),
+            None => {
+                let mut s = StageSummary {
+                    stage,
+                    ..StageSummary::default()
+                };
+                f(&mut s);
+                stages.push(s);
+            }
+        }
+    }
+
+    /// Render the report table (Markdown-ish, monospace-friendly).
+    pub fn report(&self) -> String {
+        let stages = self.stages.lock();
+        let mut out = String::new();
+        out.push_str(
+            "| job | stage | kind | tasks | task vtime min/p50/max | shuffle R/W | cache hit% | virtual | wall |\n",
+        );
+        out.push_str(
+            "|-----|-------|------|-------|------------------------|-------------|------------|---------|------|\n",
+        );
+        for s in stages.iter() {
+            let (vmin, vp50, vmax) = s.virtual_spread_ns();
+            let wall_total: u64 = s.task_wall_ns.iter().sum();
+            let hit = s
+                .cache_hit_rate()
+                .map_or_else(|| "-".to_string(), |r| format!("{:.0}%", r * 100.0));
+            let job = s.job.map_or_else(|| "-".to_string(), |j| j.to_string());
+            let kind = s.kind.map_or("?", StageKind::as_str);
+            out.push_str(&format!(
+                "| {job} | {stage} | {kind} | {tasks} | {vmin}/{vp50}/{vmax} | {r}/{w} | {hit} | {mk} | {wall} |\n",
+                stage = s.stage,
+                tasks = s.num_tasks,
+                vmin = fmt_ns(vmin),
+                vp50 = fmt_ns(vp50),
+                vmax = fmt_ns(vmax),
+                r = fmt_bytes(s.shuffle_read_bytes),
+                w = fmt_bytes(s.shuffle_write_bytes),
+                mk = fmt_ns(s.makespan_ns),
+                wall = fmt_ns(wall_total),
+            ));
+        }
+        out
+    }
+}
+
+/// Human-compact duration from nanoseconds.
+pub fn fmt_ns(ns: u64) -> String {
+    let secs = ns as f64 / 1e9;
+    if secs >= 100.0 {
+        format!("{secs:.0}s")
+    } else if secs >= 1.0 {
+        format!("{secs:.2}s")
+    } else if secs >= 1e-3 {
+        format!("{:.2}ms", secs * 1e3)
+    } else {
+        format!("{:.0}µs", secs * 1e6)
+    }
+}
+
+/// Human-compact byte count.
+pub fn fmt_bytes(bytes: u64) -> String {
+    const KIB: f64 = 1024.0;
+    let b = bytes as f64;
+    if b >= KIB * KIB * KIB {
+        format!("{:.2}GiB", b / (KIB * KIB * KIB))
+    } else if b >= KIB * KIB {
+        format!("{:.1}MiB", b / (KIB * KIB))
+    } else if b >= KIB {
+        format!("{:.1}KiB", b / KIB)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+impl EventListener for StageSummaryListener {
+    fn on_event(&self, event: &EngineEvent) {
+        match event {
+            EngineEvent::StageSubmitted {
+                job,
+                stage,
+                kind,
+                num_tasks,
+            } => self.with_stage(*stage, |s| {
+                s.job = *job;
+                s.kind = Some(*kind);
+                s.num_tasks = *num_tasks;
+            }),
+            EngineEvent::TaskEnd { stage, metrics } => self.with_stage(*stage, |s| {
+                s.task_virtual_ns.push(metrics.virtual_runtime_ns());
+                s.task_wall_ns.push(metrics.wall_ns);
+                s.input_bytes += metrics.input_bytes;
+                s.shuffle_read_bytes += metrics.shuffle_read_bytes;
+                s.shuffle_write_bytes += metrics.shuffle_write_bytes;
+                s.cache_hits += metrics.cache_hits;
+                s.cache_misses += metrics.cache_misses;
+                s.recomputed_partitions += metrics.recomputed_partitions;
+            }),
+            EngineEvent::StageCompleted {
+                stage,
+                makespan_ns,
+                local_reads,
+                ..
+            } => self.with_stage(*stage, |s| {
+                s.makespan_ns = *makespan_ns;
+                s.local_reads = *local_reads;
+            }),
+            _ => {}
+        }
+    }
+}
+
+/// Opt-in progress lines on stderr as jobs and stages complete.
+#[derive(Default)]
+pub struct ConsoleProgressListener;
+
+impl ConsoleProgressListener {
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl EventListener for ConsoleProgressListener {
+    fn on_event(&self, event: &EngineEvent) {
+        match event {
+            EngineEvent::JobStart { job, .. } => eprintln!("[engine] job {job} started"),
+            EngineEvent::JobEnd {
+                job,
+                virtual_advance_ns,
+                ..
+            } => eprintln!(
+                "[engine] job {job} finished (+{} virtual)",
+                fmt_ns(*virtual_advance_ns)
+            ),
+            EngineEvent::StageCompleted {
+                job,
+                stage,
+                kind,
+                makespan_ns,
+                ..
+            } => {
+                let job = job.map_or_else(|| "-".to_string(), |j| j.to_string());
+                eprintln!(
+                    "[engine] job {job} stage {stage} ({}) done in {} virtual",
+                    kind.as_str(),
+                    fmt_ns(*makespan_ns)
+                );
+            }
+            EngineEvent::FaultInjected { fault } => {
+                eprintln!("[engine] fault injected: {fault:?}");
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Records every event in memory. `snapshot` clones the stream; `take`
+/// drains it.
+#[derive(Default)]
+pub struct MemoryEventListener {
+    events: Mutex<Vec<EngineEvent>>,
+}
+
+impl MemoryEventListener {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn snapshot(&self) -> Vec<EngineEvent> {
+        self.events.lock().clone()
+    }
+
+    pub fn take(&self) -> Vec<EngineEvent> {
+        std::mem::take(&mut self.events.lock())
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+}
+
+impl EventListener for MemoryEventListener {
+    fn on_event(&self, event: &EngineEvent) {
+        self.events.lock().push(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<EngineEvent> {
+        vec![
+            EngineEvent::JobStart {
+                job: 0,
+                virtual_now_ns: 0,
+            },
+            EngineEvent::StageSubmitted {
+                job: Some(0),
+                stage: 1,
+                kind: StageKind::ShuffleMap,
+                num_tasks: 4,
+            },
+            EngineEvent::TaskStart {
+                stage: 1,
+                partition: 2,
+            },
+            EngineEvent::TaskEnd {
+                stage: 1,
+                metrics: TaskMetrics {
+                    partition: 2,
+                    wall_ns: 1_000,
+                    virtual_compute_ns: 9_999,
+                    virtual_start_ns: 100,
+                    virtual_finish_ns: 10_099,
+                    node: 1,
+                    executor: 0,
+                    input_local: true,
+                    input_bytes: 4096,
+                    shuffle_read_bytes: 0,
+                    shuffle_write_bytes: 2048,
+                    cache_hits: 1,
+                    cache_misses: 1,
+                    recomputed_partitions: 1,
+                },
+            },
+            EngineEvent::StageCompleted {
+                job: Some(0),
+                stage: 1,
+                kind: StageKind::ShuffleMap,
+                makespan_ns: 10_099,
+                local_reads: 3,
+            },
+            EngineEvent::StageSubmitted {
+                job: None,
+                stage: 2,
+                kind: StageKind::Result,
+                num_tasks: 1,
+            },
+            EngineEvent::CacheEvicted {
+                op: 7,
+                partition: 3,
+                pressure: true,
+            },
+            EngineEvent::ShuffleMapRerun {
+                shuffle: 5,
+                map_part: 1,
+            },
+            EngineEvent::FaultInjected {
+                fault: FaultDetail::KillNode { node: 2 },
+            },
+            EngineEvent::FaultInjected {
+                fault: FaultDetail::DropCachedBlock {
+                    op: 7,
+                    partition: 0,
+                },
+            },
+            EngineEvent::FaultInjected {
+                fault: FaultDetail::DropShuffleOutput {
+                    shuffle: 5,
+                    map_part: 0,
+                },
+            },
+            EngineEvent::JobEnd {
+                job: 0,
+                virtual_now_ns: 10_099,
+                virtual_advance_ns: 10_099,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_event_round_trips_through_json() {
+        for event in sample_events() {
+            let v = event.to_json();
+            let back = EngineEvent::from_json(&v).unwrap();
+            assert_eq!(event, back, "round-trip for {}", event.name());
+            // And through the text layer.
+            let text = v.to_string();
+            let reparsed = serde_json::from_str_value(&text).unwrap();
+            assert_eq!(EngineEvent::from_json(&reparsed).unwrap(), event);
+        }
+    }
+
+    #[test]
+    fn event_log_listener_writes_parseable_jsonl() {
+        let buf = Arc::new(Mutex::new(Vec::<u8>::new()));
+        struct SharedWriter(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedWriter {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let listener = EventLogListener::new(SharedWriter(Arc::clone(&buf)));
+        let events = sample_events();
+        for e in &events {
+            listener.on_event(e);
+        }
+        drop(listener);
+        let text = String::from_utf8(buf.lock().clone()).unwrap();
+        assert_eq!(text.lines().count(), events.len());
+        let parsed = parse_event_log(&text).unwrap();
+        assert_eq!(parsed, events);
+    }
+
+    #[test]
+    fn bus_is_inactive_until_registered() {
+        let bus = EventBus::new();
+        assert!(!bus.is_active());
+        let mut built = false;
+        bus.emit_with(|| {
+            built = true;
+            EngineEvent::TaskStart {
+                stage: 0,
+                partition: 0,
+            }
+        });
+        assert!(!built, "inactive bus must not construct events");
+        let mem = Arc::new(MemoryEventListener::new());
+        bus.register(Arc::clone(&mem) as Arc<dyn EventListener>);
+        assert!(bus.is_active());
+        bus.emit_with(|| EngineEvent::TaskStart {
+            stage: 0,
+            partition: 0,
+        });
+        assert_eq!(mem.len(), 1);
+        bus.clear();
+        assert!(!bus.is_active());
+    }
+
+    #[test]
+    fn stage_summary_aggregates_and_reports() {
+        let listener = StageSummaryListener::new();
+        for e in sample_events() {
+            listener.on_event(&e);
+        }
+        let stages = listener.summaries();
+        assert_eq!(stages.len(), 2);
+        let s1 = &stages[0];
+        assert_eq!(s1.stage, 1);
+        assert_eq!(s1.job, Some(0));
+        assert_eq!(s1.kind, Some(StageKind::ShuffleMap));
+        assert_eq!(s1.task_virtual_ns, vec![9_999]);
+        assert_eq!(s1.shuffle_write_bytes, 2048);
+        assert_eq!(s1.cache_hit_rate(), Some(0.5));
+        assert_eq!(s1.makespan_ns, 10_099);
+        let report = listener.report();
+        assert!(report.contains("ShuffleMap"), "{report}");
+        assert!(report.contains("| 0 | 1 |"), "{report}");
+    }
+
+    #[test]
+    fn spread_picks_min_median_max() {
+        assert_eq!(spread(&[5, 1, 9, 3]), (1, 5, 9));
+        assert_eq!(spread(&[]), (0, 0, 0));
+        assert_eq!(spread(&[7]), (7, 7, 7));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_ns(1_500_000_000), "1.50s");
+        assert_eq!(fmt_ns(2_500_000), "2.50ms");
+        assert_eq!(fmt_bytes(0), "0B");
+        assert_eq!(fmt_bytes(2048), "2.0KiB");
+        assert_eq!(fmt_bytes(3 * 1024 * 1024), "3.0MiB");
+    }
+}

@@ -44,6 +44,7 @@ pub mod context;
 pub mod dataset;
 pub mod engine;
 pub mod estimate;
+pub mod events;
 pub mod meta;
 pub mod metrics;
 pub mod ops;
@@ -53,6 +54,10 @@ pub use context::TaskCtx;
 pub use dataset::Dataset;
 pub use engine::{Broadcast, Engine, EngineBuilder};
 pub use estimate::EstimateSize;
+pub use events::{
+    ConsoleProgressListener, EngineEvent, EventBus, EventListener, EventLogListener, FaultDetail,
+    MemoryEventListener, StageKind, StageSummaryListener, TaskMetrics,
+};
 pub use metrics::MetricsSnapshot;
 pub use ops::shuffled::Aggregator;
 pub use ops::Data;

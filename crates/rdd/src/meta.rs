@@ -139,7 +139,11 @@ impl MetaRegistry {
                 } else {
                     String::new()
                 };
-                let _ = writeln!(out, "{} (op {}, {} parts){}", m.name, id.0, m.num_partitions, cached);
+                let _ = writeln!(
+                    out,
+                    "{} (op {}, {} parts){}",
+                    m.name, id.0, m.num_partitions, cached
+                );
                 for dep in &m.deps {
                     if let Some(sid) = dep.shuffle {
                         for _ in 0..depth + 1 {

@@ -8,6 +8,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use serde::{Deserialize, Serialize};
+
 /// Live counters owned by the engine.
 #[derive(Debug, Default)]
 pub struct Metrics {
@@ -31,7 +33,7 @@ pub struct Metrics {
 }
 
 /// A point-in-time copy of [`Metrics`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
     pub jobs: u64,
     pub stages: u64,
@@ -104,7 +106,9 @@ impl MetricsSnapshot {
             shuffle_map_reruns: self
                 .shuffle_map_reruns
                 .saturating_sub(earlier.shuffle_map_reruns),
-            shuffle_map_tasks: self.shuffle_map_tasks.saturating_sub(earlier.shuffle_map_tasks),
+            shuffle_map_tasks: self
+                .shuffle_map_tasks
+                .saturating_sub(earlier.shuffle_map_tasks),
             shuffle_bytes_written: self
                 .shuffle_bytes_written
                 .saturating_sub(earlier.shuffle_bytes_written),
@@ -118,6 +122,29 @@ impl MetricsSnapshot {
             broadcasts: self.broadcasts.saturating_sub(earlier.broadcasts),
             broadcast_bytes: self.broadcast_bytes.saturating_sub(earlier.broadcast_bytes),
         }
+    }
+}
+
+/// Compact single-line rendering of the counters that matter most when a
+/// snapshot is printed in a log or a benchmark footer.
+impl std::fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "jobs={} stages={} tasks={} cache hit/miss/evict={}/{}/{} recomputed={} \
+             shuffle W/R={}/{}B map-reruns={} broadcasts={}",
+            self.jobs,
+            self.stages,
+            self.tasks,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_evictions,
+            self.recomputed_partitions,
+            self.shuffle_bytes_written,
+            self.shuffle_bytes_read,
+            self.shuffle_map_reruns,
+            self.broadcasts,
+        )
     }
 }
 
@@ -148,6 +175,28 @@ mod tests {
         assert_eq!(d.tasks, 4);
         assert_eq!(d.cache_hits, 1);
         assert_eq!(d.jobs, 0);
+    }
+
+    #[test]
+    fn snapshot_serde_round_trip() {
+        let m = Metrics::new();
+        Metrics::add(&m.tasks, 42);
+        Metrics::add(&m.shuffle_bytes_written, u64::MAX - 7);
+        let s = m.snapshot();
+        let text = serde_json::to_string(&s).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, s, "u64 counters must survive the JSON round trip");
+    }
+
+    #[test]
+    fn snapshot_display_is_one_line() {
+        let m = Metrics::new();
+        Metrics::bump(&m.jobs);
+        Metrics::add(&m.tasks, 9);
+        let line = m.snapshot().to_string();
+        assert!(line.contains("jobs=1"));
+        assert!(line.contains("tasks=9"));
+        assert!(!line.contains('\n'));
     }
 
     #[test]

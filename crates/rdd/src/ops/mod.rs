@@ -48,16 +48,28 @@ pub fn materialize<T: Data>(op: &Arc<dyn Op<T>>, part: usize, ctx: &TaskCtx<'_>)
     }
     if let Some(block) = engine.cache.get::<T>(id, part) {
         Metrics::bump(&engine.metrics.cache_hits);
+        ctx.note_cache_hit();
         ctx.add_preferred(block.node);
         return block.data;
     }
     Metrics::bump(&engine.metrics.cache_misses);
+    ctx.note_cache_miss();
     if engine.cache.was_ever_present(id, part) {
         Metrics::bump(&engine.metrics.recomputed_partitions);
+        ctx.note_recompute();
     }
     let data = Arc::new(op.compute(part, ctx));
     let node = engine.node_for_block(id.0, part as u64);
     let outcome = engine.cache.put(id, part, Arc::clone(&data), node);
-    Metrics::add(&engine.metrics.cache_evictions, outcome.evicted_blocks);
+    Metrics::add(&engine.metrics.cache_evictions, outcome.evicted_blocks());
+    for &(victim_op, victim_part) in &outcome.evicted {
+        engine
+            .events()
+            .emit_with(|| crate::events::EngineEvent::CacheEvicted {
+                op: victim_op.0,
+                partition: victim_part,
+                pressure: true,
+            });
+    }
     data
 }

@@ -365,7 +365,9 @@ impl<T: Data> Op<T> for UnionOp<T> {
             .position(|w| part >= w[0] && part < w[1])
             .expect("partition index within union range");
         let local = part - self.offsets[which];
-        materialize(&self.parents[which], local, ctx).as_ref().clone()
+        materialize(&self.parents[which], local, ctx)
+            .as_ref()
+            .clone()
     }
 
     fn name(&self) -> &str {

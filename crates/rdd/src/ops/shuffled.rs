@@ -105,6 +105,7 @@ pub(crate) fn register_shuffle_map<K, V, C>(
                 let records: Vec<(K, C)> = t.into_iter().collect();
                 let bytes = slice_bytes(&records) as u64;
                 Metrics::add(&engine.metrics.shuffle_bytes_written, bytes);
+                ctx.add_shuffle_write(bytes);
                 Bucket {
                     data: Arc::new(records),
                     bytes,
@@ -278,7 +279,13 @@ where
         let maps_left = left.num_partitions();
         let maps_right = right.num_partitions();
         register_shuffle_map(engine, sid_left, left, partitioner, Aggregator::grouping());
-        register_shuffle_map(engine, sid_right, right, partitioner, Aggregator::grouping());
+        register_shuffle_map(
+            engine,
+            sid_right,
+            right,
+            partitioner,
+            Aggregator::grouping(),
+        );
         CoGroupOp {
             id,
             sid_left,

@@ -97,15 +97,11 @@ impl Op<String> for TextFileOp {
         ctx.add_preferred_all(&engine.dfs().block_locations(block_id));
         ctx.add_input_bytes(bytes);
         Metrics::add(&engine.metrics.input_bytes, bytes);
-        let (data, _served_by) = engine
-            .dfs()
-            .read_block(block_id, None)
-            .unwrap_or_else(|e|
+        let (data, _served_by) = engine.dfs().read_block(block_id, None).unwrap_or_else(|e|
 
                 // Unrecoverable: lineage cannot rebuild source data whose
                 // every replica is gone — Spark fails the job here too.
-                panic!("input block lost beyond recovery for {}: {e}", self.meta.path)
-            );
+                panic!("input block lost beyond recovery for {}: {e}", self.meta.path));
         let lines: Vec<String> = block_lines(&data).map(str::to_owned).collect();
         ctx.add_work(lines.len(), 1.0);
         lines

@@ -167,7 +167,12 @@ impl ShuffleManager {
 
     /// Fetch one bucket; `None` if the map output is missing (lost or not
     /// yet produced) — the caller must re-run the map task.
-    pub fn get_bucket(&self, sid: ShuffleId, map_part: usize, reduce_part: usize) -> Option<Bucket> {
+    pub fn get_bucket(
+        &self,
+        sid: ShuffleId,
+        map_part: usize,
+        reduce_part: usize,
+    ) -> Option<Bucket> {
         self.inner
             .lock()
             .outputs
@@ -184,16 +189,13 @@ impl ShuffleManager {
     }
 
     /// Drop one arbitrary map output (fault injection). Deterministic
-    /// choice: the smallest `(sid, map_part)` key.
-    pub fn drop_one(&self) -> bool {
+    /// choice: the smallest `(sid, map_part)` key. Returns the dropped
+    /// output's identity, if any output existed.
+    pub fn drop_one(&self) -> Option<(ShuffleId, usize)> {
         let mut g = self.inner.lock();
-        let victim = g.outputs.keys().min().copied();
-        if let Some(k) = victim {
-            g.outputs.remove(&k);
-            true
-        } else {
-            false
-        }
+        let victim = g.outputs.keys().min().copied()?;
+        g.outputs.remove(&victim);
+        Some(victim)
     }
 
     /// Total bytes held across all buckets (diagnostics).
@@ -283,7 +285,10 @@ mod tests {
         m.unregister(sid);
         assert_eq!(m.num_registered(), 0);
         assert_eq!(m.stored_bytes(), 0);
-        assert!(m.missing_map_parts(sid).is_empty(), "unknown shuffle has no parts");
+        assert!(
+            m.missing_map_parts(sid).is_empty(),
+            "unknown shuffle has no parts"
+        );
     }
 
     #[test]
@@ -304,10 +309,14 @@ mod tests {
         m.register(sid, stage(2, 1));
         m.put_map_output(sid, 0, vec![bucket(vec![1])], NodeId(0));
         m.put_map_output(sid, 1, vec![bucket(vec![2])], NodeId(0));
-        assert!(m.drop_one());
-        assert_eq!(m.missing_map_parts(sid), vec![0], "smallest key dropped first");
-        assert!(m.drop_one());
-        assert!(!m.drop_one());
+        assert_eq!(m.drop_one(), Some((sid, 0)));
+        assert_eq!(
+            m.missing_map_parts(sid),
+            vec![0],
+            "smallest key dropped first"
+        );
+        assert_eq!(m.drop_one(), Some((sid, 1)));
+        assert_eq!(m.drop_one(), None);
     }
 
     #[test]

@@ -226,7 +226,9 @@ fn shuffle_results_are_deterministic_across_runs() {
     let run = || {
         let e = engine(3);
         let pairs: Vec<(u64, u64)> = (0..200).map(|x| ((x * 31) % 17, x)).collect();
-        e.parallelize(pairs, 8).reduce_by_key(5, |a, b| a + b).collect()
+        e.parallelize(pairs, 8)
+            .reduce_by_key(5, |a, b| a + b)
+            .collect()
     };
     assert_eq!(run(), run(), "same inputs must give identical output order");
 }
@@ -280,7 +282,10 @@ fn tiny_cache_budget_evicts_but_results_stay_correct() {
 fn cached_dataset_short_circuits_upstream_shuffle() {
     let e = engine(2);
     let pairs: Vec<(u64, u64)> = (0..100).map(|x| (x % 5, x)).collect();
-    let reduced = e.parallelize(pairs, 4).reduce_by_key(3, |a, b| a + b).cache();
+    let reduced = e
+        .parallelize(pairs, 4)
+        .reduce_by_key(3, |a, b| a + b)
+        .cache();
     reduced.collect();
     let m1 = e.metrics_snapshot();
     reduced.map(|(_, v)| v).collect();
@@ -329,7 +334,11 @@ fn node_death_mid_job_recovers_from_lineage() {
         .build();
     let content: String = (0..200).map(|i| format!("{i}\n")).collect();
     e.dfs().write_text("/in.txt", &content).unwrap();
-    let ds = e.text_file("/in.txt").unwrap().map(|l| l.parse::<u64>().unwrap()).cache();
+    let ds = e
+        .text_file("/in.txt")
+        .unwrap()
+        .map(|l| l.parse::<u64>().unwrap())
+        .cache();
     ds.collect(); // populate cache across nodes
     e.set_fault_plan(FaultPlan::kill_node_after(NodeId(0), 1));
     // Several more jobs; cached blocks on node 0 vanish and recompute.
@@ -385,10 +394,19 @@ fn virtual_time_decreases_with_more_nodes() {
     let t18 = run(18) as f64;
     // 12 and 18 nodes both fit the 96 tasks in one wave, so they tie up to
     // host measurement jitter; allow 1%.
-    assert!(t12 <= t6 * 1.01, "12 nodes ({t12}) must not be slower than 6 ({t6})");
-    assert!(t18 <= t12 * 1.01, "18 nodes ({t18}) must not be slower than 12 ({t12})");
+    assert!(
+        t12 <= t6 * 1.01,
+        "12 nodes ({t12}) must not be slower than 6 ({t6})"
+    );
+    assert!(
+        t18 <= t12 * 1.01,
+        "18 nodes ({t18}) must not be slower than 12 ({t12})"
+    );
     // 6 nodes (48 slots) need two task waves for 96 tasks: a real gap.
-    assert!(t18 < t6 * 0.8, "18 nodes ({t18}) must clearly beat 6 ({t6})");
+    assert!(
+        t18 < t6 * 0.8,
+        "18 nodes ({t18}) must clearly beat 6 ({t6})"
+    );
 }
 
 #[test]
@@ -435,7 +453,10 @@ fn dropping_datasets_releases_engine_state() {
     let e = engine(1);
     {
         let pairs: Vec<(u8, u8)> = vec![(1, 1)];
-        let ds = e.parallelize(pairs, 1).reduce_by_key(1, |a, b| a + b).cache();
+        let ds = e
+            .parallelize(pairs, 1)
+            .reduce_by_key(1, |a, b| a + b)
+            .cache();
         ds.collect();
         assert!(e.metrics_snapshot().shuffle_bytes_written > 0);
     }

@@ -1,0 +1,224 @@
+//! Invariants of the engine's event stream: ordering, counts, fault
+//! correlation, and the JSONL event-log round trip.
+
+use std::sync::Arc;
+
+use sparkscore_cluster::{ClusterSpec, FaultPlan};
+use sparkscore_rdd::events::parse_event_log;
+use sparkscore_rdd::{
+    Engine, EngineEvent, EventListener, FaultDetail, MemoryEventListener, StageSummaryListener,
+};
+
+fn observed_engine() -> (Arc<Engine>, Arc<MemoryEventListener>) {
+    let mem = Arc::new(MemoryEventListener::new());
+    let engine = Engine::builder(ClusterSpec::test_small(3))
+        .host_threads(4)
+        .listener(Arc::clone(&mem) as Arc<dyn EventListener>)
+        .build();
+    (engine, mem)
+}
+
+/// A two-stage job: shuffle map stage (reduce_by_key) feeding the result
+/// stage of a `collect`.
+fn run_shuffle_job(engine: &Arc<Engine>) {
+    let pairs: Vec<(u64, u64)> = (0..200).map(|i| (i % 10, i)).collect();
+    let summed = engine.parallelize(pairs, 4).reduce_by_key(4, |a, b| a + b);
+    assert_eq!(summed.collect().len(), 10);
+}
+
+#[test]
+fn job_start_precedes_its_stage_submissions() {
+    let (engine, mem) = observed_engine();
+    run_shuffle_job(&engine);
+    run_shuffle_job(&engine);
+    let events = mem.snapshot();
+    let job_started_at = |job: u64| {
+        events
+            .iter()
+            .position(|e| matches!(e, EngineEvent::JobStart { job: j, .. } if *j == job))
+            .unwrap_or_else(|| panic!("job {job} never started"))
+    };
+    let mut saw_job_stage = false;
+    for (i, e) in events.iter().enumerate() {
+        if let EngineEvent::StageSubmitted { job: Some(j), .. } = e {
+            saw_job_stage = true;
+            assert!(
+                job_started_at(*j) < i,
+                "StageSubmitted for job {j} at index {i} precedes its JobStart"
+            );
+        }
+    }
+    assert!(saw_job_stage, "jobs must submit stages: {events:?}");
+    // Every started job eventually ends, after all its stages complete.
+    for e in &events {
+        if let EngineEvent::JobStart { job, .. } = e {
+            let end = events
+                .iter()
+                .position(|e| matches!(e, EngineEvent::JobEnd { job: j, .. } if j == job))
+                .unwrap_or_else(|| panic!("job {job} never ended"));
+            let last_stage = events
+                .iter()
+                .rposition(
+                    |e| matches!(e, EngineEvent::StageCompleted { job: Some(j), .. } if j == job),
+                )
+                .unwrap_or_else(|| panic!("job {job} completed no stages"));
+            assert!(last_stage < end);
+        }
+    }
+}
+
+#[test]
+fn task_end_count_matches_task_counter_delta() {
+    let (engine, mem) = observed_engine();
+    let before = engine.metrics_snapshot();
+    run_shuffle_job(&engine);
+    let delta = engine.metrics_snapshot().delta_since(&before);
+    let events = mem.snapshot();
+    let task_ends = events
+        .iter()
+        .filter(|e| matches!(e, EngineEvent::TaskEnd { .. }))
+        .count() as u64;
+    let task_starts = events
+        .iter()
+        .filter(|e| matches!(e, EngineEvent::TaskStart { .. }))
+        .count() as u64;
+    assert_eq!(task_ends, delta.tasks, "one TaskEnd per counted task");
+    assert_eq!(task_starts, task_ends);
+    // Stage task counts are consistent with submissions.
+    for e in &events {
+        if let EngineEvent::StageSubmitted {
+            stage, num_tasks, ..
+        } = e
+        {
+            let ends = events
+                .iter()
+                .filter(|e| matches!(e, EngineEvent::TaskEnd { stage: s, .. } if s == stage))
+                .count();
+            assert_eq!(ends, *num_tasks, "stage {stage} task count");
+        }
+    }
+}
+
+#[test]
+fn cached_block_fault_yields_fault_event_then_recompute_flagged_task() {
+    let mem = Arc::new(MemoryEventListener::new());
+    let engine = Engine::builder(ClusterSpec::test_small(3))
+        .host_threads(2)
+        .listener(Arc::clone(&mem) as Arc<dyn EventListener>)
+        .build();
+
+    let cached = engine
+        .parallelize((0u64..400).collect::<Vec<_>>(), 4)
+        .map(|x| x * 3)
+        .cache();
+    assert_eq!(cached.count(), 400); // materialize all four blocks
+    engine.set_fault_plan(FaultPlan::none().with_cached_block_loss_every(2));
+    assert_eq!(cached.count(), 400); // faults fire, blocks drop
+    engine.set_fault_plan(FaultPlan::none());
+    assert_eq!(cached.count(), 400); // recompute the lost blocks
+
+    let events = mem.snapshot();
+    let fault_at = events
+        .iter()
+        .position(|e| {
+            matches!(
+                e,
+                EngineEvent::FaultInjected {
+                    fault: FaultDetail::DropCachedBlock { .. }
+                }
+            )
+        })
+        .expect("the fault plan must inject a cached-block drop");
+    let recompute_at = events
+        .iter()
+        .position(|e| matches!(e, EngineEvent::TaskEnd { metrics, .. } if metrics.recomputed_partitions > 0))
+        .expect("a later task must recompute the lost block");
+    assert!(
+        fault_at < recompute_at,
+        "FaultInjected (index {fault_at}) must precede the recompute-flagged TaskEnd (index {recompute_at})"
+    );
+    // The fault path also reports the eviction itself, as non-pressure.
+    assert!(events.iter().any(|e| matches!(
+        e,
+        EngineEvent::CacheEvicted {
+            pressure: false,
+            ..
+        }
+    )));
+}
+
+#[test]
+fn event_log_round_trips_through_jsonl() {
+    let mem = Arc::new(MemoryEventListener::new());
+    let buf: Arc<parking_lot::Mutex<Vec<u8>>> = Arc::default();
+    struct SharedWriter(Arc<parking_lot::Mutex<Vec<u8>>>);
+    impl std::io::Write for SharedWriter {
+        fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().extend_from_slice(data);
+            Ok(data.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+    let engine = Engine::builder(ClusterSpec::test_small(3))
+        .host_threads(4)
+        .listener(Arc::clone(&mem) as Arc<dyn EventListener>)
+        .listener(Arc::new(sparkscore_rdd::EventLogListener::new(
+            SharedWriter(Arc::clone(&buf)),
+        )))
+        .build();
+    run_shuffle_job(&engine);
+
+    let text = String::from_utf8(buf.lock().clone()).unwrap();
+    let parsed = parse_event_log(&text).expect("every line parses");
+    assert_eq!(
+        parsed,
+        mem.snapshot(),
+        "the JSONL log must reproduce the in-memory event stream exactly"
+    );
+    assert!(!parsed.is_empty());
+}
+
+#[test]
+fn stage_summary_totals_match_engine_metrics() {
+    let summary = Arc::new(StageSummaryListener::new());
+    let engine = Engine::builder(ClusterSpec::test_small(3))
+        .host_threads(4)
+        .listener(Arc::clone(&summary) as Arc<dyn EventListener>)
+        .build();
+    let before = engine.metrics_snapshot();
+    run_shuffle_job(&engine);
+    let delta = engine.metrics_snapshot().delta_since(&before);
+
+    let stages = summary.summaries();
+    let tasks: usize = stages.iter().map(|s| s.task_virtual_ns.len()).sum();
+    assert_eq!(tasks as u64, delta.tasks);
+    let shuffle_written: u64 = stages.iter().map(|s| s.shuffle_write_bytes).sum();
+    assert_eq!(shuffle_written, delta.shuffle_bytes_written);
+    let shuffle_read: u64 = stages.iter().map(|s| s.shuffle_read_bytes).sum();
+    assert_eq!(shuffle_read, delta.shuffle_bytes_read);
+
+    let report = summary.report();
+    assert!(report.contains("ShuffleMap"), "{report}");
+    assert!(report.contains("Result"), "{report}");
+}
+
+#[test]
+fn unobserved_engine_emits_nothing_and_stays_correct() {
+    let engine = Engine::builder(ClusterSpec::test_small(3))
+        .host_threads(4)
+        .build();
+    assert!(!engine.events().is_active());
+    run_shuffle_job(&engine);
+    // Listeners attached mid-flight start seeing events immediately.
+    let mem = Arc::new(MemoryEventListener::new());
+    engine
+        .events()
+        .register(Arc::clone(&mem) as Arc<dyn EventListener>);
+    run_shuffle_job(&engine);
+    assert!(mem
+        .snapshot()
+        .iter()
+        .any(|e| matches!(e, EngineEvent::JobStart { .. })));
+}

@@ -65,7 +65,13 @@ fn coalesce_preserves_records_and_order() {
 #[test]
 fn zip_with_index_is_global_and_ordered() {
     let e = engine();
-    let ds = e.parallelize(vec!["a", "b", "c", "d", "e"].into_iter().map(String::from).collect::<Vec<_>>(), 3);
+    let ds = e.parallelize(
+        vec!["a", "b", "c", "d", "e"]
+            .into_iter()
+            .map(String::from)
+            .collect::<Vec<_>>(),
+        3,
+    );
     let zipped = ds.zip_with_index().collect();
     let want: Vec<(String, u64)> = ["a", "b", "c", "d", "e"]
         .iter()
@@ -147,7 +153,10 @@ fn save_as_text_file_round_trips_through_part_files() {
     assert!(parts.contains(&"/out/part-00000".to_string()));
     // Re-reading yields the same records in the same order.
     let back = e.text_file_dir("/out").unwrap().collect();
-    assert_eq!(back, (0..100).map(|x| format!("line-{x}")).collect::<Vec<_>>());
+    assert_eq!(
+        back,
+        (0..100).map(|x| format!("line-{x}")).collect::<Vec<_>>()
+    );
 }
 
 #[test]

@@ -68,7 +68,11 @@ impl ScoreModel for AdjustedGaussianScore {
     }
 
     fn contributions(&self, g: &[u8]) -> Vec<f64> {
-        assert_eq!(g.len(), self.residuals.len(), "genotype vector length mismatch");
+        assert_eq!(
+            g.len(),
+            self.residuals.len(),
+            "genotype vector length mismatch"
+        );
         let g_res = self.genotype_residual(g);
         self.residuals
             .iter()

@@ -23,10 +23,16 @@ fn for_each_permutation(n: usize, mut visit: impl FnMut(&[usize])) {
     loop {
         visit(&perm);
         // Lexicographic successor.
-        let Some(i) = (0..n.saturating_sub(1)).rev().find(|&i| perm[i] < perm[i + 1]) else {
+        let Some(i) = (0..n.saturating_sub(1))
+            .rev()
+            .find(|&i| perm[i] < perm[i + 1])
+        else {
             return;
         };
-        let j = (i + 1..n).rev().find(|&j| perm[j] > perm[i]).expect("successor exists");
+        let j = (i + 1..n)
+            .rev()
+            .find(|&j| perm[j] > perm[i])
+            .expect("successor exists");
         perm.swap(i, j);
         perm[i + 1..].reverse();
     }
@@ -120,7 +126,8 @@ mod tests {
     #[test]
     fn sampled_permutation_converges_to_exact() {
         let (model, rows, weights, sets) = tiny_problem();
-        let exact = exact_permutation_pvalues(&model, |p| model.permuted(p), &rows, &weights, &sets);
+        let exact =
+            exact_permutation_pvalues(&model, |p| model.permuted(p), &rows, &weights, &sets);
         let sampled = permutation(
             &model,
             |p| model.permuted(p),
@@ -145,7 +152,8 @@ mod tests {
         // problem they agree coarsely (the MC null is Gaussian rather than
         // discrete, so perfect agreement is not expected at n = 6).
         let (model, rows, weights, sets) = tiny_problem();
-        let exact = exact_permutation_pvalues(&model, |p| model.permuted(p), &rows, &weights, &sets);
+        let exact =
+            exact_permutation_pvalues(&model, |p| model.permuted(p), &rows, &weights, &sets);
         let mc = monte_carlo(&model, &rows, &weights, &sets, 4000, 5).pvalues();
         assert!(
             (exact[0] - mc[0]).abs() < 0.15,
@@ -162,14 +170,17 @@ mod tests {
         let model = GaussianScore::new(&y);
         let rows = vec![vec![0u8, 1, 2, 1, 0]];
         let sets = vec![SnpSet::new(0, vec![0])];
-        let p = exact_permutation_pvalues(&model, |perm| model.permuted(perm), &rows, &[1.0], &sets);
+        let p =
+            exact_permutation_pvalues(&model, |perm| model.permuted(perm), &rows, &[1.0], &sets);
         assert_eq!(p[0], 1.0);
     }
 
     #[test]
     #[should_panic(expected = "exact enumeration limited")]
     fn large_n_is_rejected() {
-        let ph: Vec<Survival> = (0..12).map(|i| Survival::event_at(i as f64 + 1.0)).collect();
+        let ph: Vec<Survival> = (0..12)
+            .map(|i| Survival::event_at(i as f64 + 1.0))
+            .collect();
         let model = crate::score::CoxScore::new(&ph);
         let rows = vec![vec![0u8; 12]];
         let sets = vec![SnpSet::new(0, vec![0])];

@@ -44,7 +44,10 @@ pub fn r_squared(a: &[u8], b: &[u8]) -> f64 {
 /// `threshold`. Returns the kept indices (sorted). This is the classic
 /// `--indep-pairwise`-style procedure.
 pub fn prune_by_ld(rows: &[Vec<u8>], threshold: f64, window: usize) -> Vec<usize> {
-    assert!((0.0..=1.0).contains(&threshold), "threshold must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&threshold),
+        "threshold must be in [0, 1]"
+    );
     assert!(window > 0, "window must be positive");
     let mut kept: Vec<usize> = Vec::new();
     for j in 0..rows.len() {
@@ -70,7 +73,10 @@ pub fn correlated_genotypes<R: Rng + ?Sized>(
     maf: f64,
     copy_prob: f64,
 ) -> Vec<u8> {
-    assert!((0.0..=1.0).contains(&copy_prob), "copy_prob must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&copy_prob),
+        "copy_prob must be in [0, 1]"
+    );
     base.iter()
         .map(|&g| {
             // Decompose the dosage into two allele draws.
@@ -160,7 +166,11 @@ mod tests {
             random_snp(&mut rng, 800, 0.3),
         ];
         let kept = prune_by_ld(&rows, 0.5, 10);
-        assert_eq!(kept, vec![0, 3, 4], "one representative of the clique survives");
+        assert_eq!(
+            kept,
+            vec![0, 3, 4],
+            "one representative of the clique survives"
+        );
     }
 
     #[test]
@@ -173,7 +183,7 @@ mod tests {
             rows.push(random_snp(&mut rng, 800, 0.3));
         }
         rows.push(twin); // index 6, far from index 0
-        // Window 3: the twin at distance 6 is never compared with SNP 0.
+                         // Window 3: the twin at distance 6 is never compared with SNP 0.
         let kept = prune_by_ld(&rows, 0.5, 3);
         assert!(kept.contains(&0) && kept.contains(&6));
         // Window 10: the twin is pruned.

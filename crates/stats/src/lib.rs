@@ -54,7 +54,7 @@ pub mod score;
 pub mod skat;
 pub mod special;
 
-pub use resample::{monte_carlo, observed_scores, observed_skat, permutation, ResamplingResult};
 pub use covariates::AdjustedGaussianScore;
+pub use resample::{monte_carlo, observed_scores, observed_skat, permutation, ResamplingResult};
 pub use score::{BinomialScore, CoxScore, GaussianScore, ScoreModel, Survival};
 pub use skat::{burden_statistic, skat_all, skat_statistic, SnpSet};

@@ -90,13 +90,7 @@ impl Matrix {
     pub fn tr_mul_vec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.rows, "dimension mismatch");
         (0..self.cols)
-            .map(|c| {
-                self.column(c)
-                    .iter()
-                    .zip(v)
-                    .map(|(a, b)| a * b)
-                    .sum()
-            })
+            .map(|c| self.column(c).iter().zip(v).map(|(a, b)| a * b).sum())
             .collect()
     }
 
@@ -139,7 +133,10 @@ impl std::fmt::Display for LinalgError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LinalgError::NotPositiveDefinite { pivot } => {
-                write!(f, "matrix not positive definite at pivot {pivot} (collinear columns?)")
+                write!(
+                    f,
+                    "matrix not positive definite at pivot {pivot} (collinear columns?)"
+                )
             }
         }
     }

@@ -180,7 +180,11 @@ mod tests {
     fn strong_effects_have_high_power() {
         let design = SurvivalDesign::null(300, 0.3).with_hazard_ratio(2.0);
         let est = estimate_power(&design, 0.05, 120, 2);
-        assert!(est.power > 0.9, "HR 2.0 at n = 300 must be powered: {}", est.power);
+        assert!(
+            est.power > 0.9,
+            "HR 2.0 at n = 300 must be powered: {}",
+            est.power
+        );
     }
 
     #[test]
@@ -225,11 +229,14 @@ mod tests {
     #[test]
     fn required_sample_size_brackets_the_effect() {
         let base = SurvivalDesign::null(50, 0.3).with_hazard_ratio(1.8);
-        let n = required_sample_size(&base, 0.8, 0.05, 120, 20_000, 5)
-            .expect("effect is detectable");
+        let n =
+            required_sample_size(&base, 0.8, 0.05, 120, 20_000, 5).expect("effect is detectable");
         assert!((10..2000).contains(&n), "implausible sample size {n}");
         // The returned size really achieves the target (same seed).
-        let design = SurvivalDesign { patients: n, ..base };
+        let design = SurvivalDesign {
+            patients: n,
+            ..base
+        };
         assert!(estimate_power(&design, 0.05, 120, 5).power >= 0.8);
     }
 

@@ -157,7 +157,9 @@ mod tests {
         // Generate genotypes under exact HWE sampling: p-values should be
         // comfortably large for a big sample at ρ = 0.3.
         let mut rng = StdRng::seed_from_u64(4);
-        let g: Vec<u8> = (0..20_000).map(|_| sample_genotype(&mut rng, 0.3)).collect();
+        let g: Vec<u8> = (0..20_000)
+            .map(|_| sample_genotype(&mut rng, 0.3))
+            .collect();
         let c = GenotypeCounts::from_dosages(&g);
         assert!(
             c.hardy_weinberg_pvalue() > 0.001,

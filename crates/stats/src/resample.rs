@@ -82,7 +82,10 @@ pub fn monte_carlo<M: ScoreModel>(
 ) -> ResamplingResult {
     let n = model.num_patients();
     // The "cached U RDD": per-SNP per-patient contributions, computed once.
-    let contribs: Vec<Vec<f64>> = genotype_rows.iter().map(|g| model.contributions(g)).collect();
+    let contribs: Vec<Vec<f64>> = genotype_rows
+        .iter()
+        .map(|g| model.contributions(g))
+        .collect();
     let scores: Vec<f64> = contribs.iter().map(|c| c.iter().sum()).collect();
     let observed = skat_all(&scores, weights, sets);
 
@@ -264,8 +267,16 @@ mod tests {
         assert!(mc[0] <= 0.01, "causal set must be significant (mc: {mc:?})");
         assert!(mc[1] > 0.05, "noise set must not be (mc: {mc:?})");
 
-        let perm = permutation(&model, |p| model.permuted(p), &rows, &weights, &sets, 199, 6)
-            .pvalues();
+        let perm = permutation(
+            &model,
+            |p| model.permuted(p),
+            &rows,
+            &weights,
+            &sets,
+            199,
+            6,
+        )
+        .pvalues();
         assert!(perm[0] <= 0.01, "causal set (perm: {perm:?})");
         assert!(perm[1] > 0.05, "noise set (perm: {perm:?})");
     }
@@ -283,11 +294,22 @@ mod tests {
             .map(|_| (0..n).map(|_| rng.gen_range(0u8..3)).collect())
             .collect();
         let weights = vec![1.0; 8];
-        let sets = vec![SnpSet::new(0, vec![0, 1, 2, 3]), SnpSet::new(1, vec![4, 5, 6, 7])];
+        let sets = vec![
+            SnpSet::new(0, vec![0, 1, 2, 3]),
+            SnpSet::new(1, vec![4, 5, 6, 7]),
+        ];
         let model = GaussianScore::new(&y);
         let mc = monte_carlo(&model, &rows, &weights, &sets, 400, 1).pvalues();
-        let pm = permutation(&model, |p| model.permuted(p), &rows, &weights, &sets, 400, 2)
-            .pvalues();
+        let pm = permutation(
+            &model,
+            |p| model.permuted(p),
+            &rows,
+            &weights,
+            &sets,
+            400,
+            2,
+        )
+        .pvalues();
         for (a, b) in mc.iter().zip(&pm) {
             assert!(
                 (a - b).abs() < 0.2,

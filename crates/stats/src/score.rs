@@ -208,7 +208,11 @@ impl ScoreModel for GaussianScore {
     }
 
     fn contributions(&self, g: &[u8]) -> Vec<f64> {
-        assert_eq!(g.len(), self.residuals.len(), "genotype vector length mismatch");
+        assert_eq!(
+            g.len(),
+            self.residuals.len(),
+            "genotype vector length mismatch"
+        );
         centered_residual_contributions(&self.residuals, g)
     }
 }
@@ -256,7 +260,11 @@ impl ScoreModel for BinomialScore {
     }
 
     fn contributions(&self, g: &[u8]) -> Vec<f64> {
-        assert_eq!(g.len(), self.residuals.len(), "genotype vector length mismatch");
+        assert_eq!(
+            g.len(),
+            self.residuals.len(),
+            "genotype vector length mismatch"
+        );
         centered_residual_contributions(&self.residuals, g)
     }
 }

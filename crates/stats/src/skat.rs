@@ -32,11 +32,7 @@ impl SnpSet {
 
 /// SKAT statistic for one set: `Σ_{j∈I_k} w_j² U_j²`.
 pub fn skat_statistic(scores: &[f64], weights: &[f64], set: &SnpSet) -> f64 {
-    assert_eq!(
-        scores.len(),
-        weights.len(),
-        "scores and weights must align"
-    );
+    assert_eq!(scores.len(), weights.len(), "scores and weights must align");
     set.members
         .iter()
         .map(|&j| {
@@ -56,7 +52,9 @@ pub fn burden_statistic(scores: &[f64], weights: &[f64], set: &SnpSet) -> f64 {
 
 /// SKAT statistics for every set.
 pub fn skat_all(scores: &[f64], weights: &[f64], sets: &[SnpSet]) -> Vec<f64> {
-    sets.iter().map(|s| skat_statistic(scores, weights, s)).collect()
+    sets.iter()
+        .map(|s| skat_statistic(scores, weights, s))
+        .collect()
 }
 
 #[cfg(test)]

@@ -69,5 +69,7 @@ fn main() {
             slots
         );
     }
-    println!("\ntakeaway: slot count and memory budget matter; container partitioning barely does.");
+    println!(
+        "\ntakeaway: slot count and memory budget matter; container partitioning barely does."
+    );
 }

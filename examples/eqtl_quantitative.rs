@@ -54,8 +54,7 @@ fn main() {
             .collect::<Vec<_>>(),
         8,
     );
-    let weights_rdd =
-        engine.parallelize((0..snps as u64).map(|j| (j, 1.0)).collect::<Vec<_>>(), 2);
+    let weights_rdd = engine.parallelize((0..snps as u64).map(|j| (j, 1.0)).collect::<Vec<_>>(), 2);
     let ctx = SparkScoreContext::from_parts(
         Arc::clone(&engine),
         Phenotype::Quantitative(expression.clone()),
@@ -79,7 +78,11 @@ fn main() {
             .map(|&j| score_and_variance(&model.contributions(&rows[j])).1)
             .collect();
         let liu = skat_liu_pvalue(run.observed[k].score, &lambdas);
-        let marker = if set.id == causal_set { "  <-- cis-eQTL" } else { "" };
+        let marker = if set.id == causal_set {
+            "  <-- cis-eQTL"
+        } else {
+            ""
+        };
         if mc_p[k] < 0.2 || set.id == causal_set {
             println!(
                 "{:>6}   {:>9.2}   {:.3}    {:.4}{marker}",

@@ -11,7 +11,7 @@ use std::sync::Arc;
 use sparkscore_cluster::{ClusterSpec, FaultPlan, NodeId};
 use sparkscore_core::{AnalysisOptions, SparkScoreContext};
 use sparkscore_data::{write_dataset_to_dfs, GwasDataset, SyntheticConfig};
-use sparkscore_rdd::Engine;
+use sparkscore_rdd::{Engine, EngineEvent, EventListener, MemoryEventListener};
 
 fn build(engine: &Arc<Engine>, dataset: &GwasDataset) -> SparkScoreContext {
     let (paths, _) = write_dataset_to_dfs(engine.dfs(), "/gwas", dataset).expect("fresh DFS");
@@ -38,11 +38,15 @@ fn main() {
     );
 
     // Same analysis, but node 2 dies after 150 completed tasks, and the
-    // fault injector also drops a cached block every 40 tasks.
+    // fault injector also drops a cached block every 40 tasks. A memory
+    // listener captures the engine's event stream so the recovery work is
+    // visible, not just inferred from counters.
+    let events = Arc::new(MemoryEventListener::new());
     let chaotic = Engine::builder(ClusterSpec::m3_2xlarge(4))
         .dfs_block_size(32 * 1024)
         .dfs_replication(2)
         .fault_plan(FaultPlan::kill_node_after(NodeId(2), 150).with_cached_block_loss_every(40))
+        .listener(Arc::clone(&events) as Arc<dyn EventListener>)
         .build();
     let faulty = build(&chaotic, &dataset).monte_carlo(50, 3, true);
     println!(
@@ -55,6 +59,39 @@ fn main() {
     println!(
         "node 2 alive after run: {}",
         chaotic.cluster().node(NodeId(2)).is_alive()
+    );
+
+    // Replay the captured event stream: every injected fault, every shuffle
+    // map re-run, and every task that recomputed previously-cached blocks.
+    println!("\nrecovery events captured during the chaotic run:");
+    let mut recompute_tasks = 0u64;
+    for event in events.snapshot() {
+        match event {
+            EngineEvent::FaultInjected { fault } => println!("  fault injected: {fault:?}"),
+            EngineEvent::ShuffleMapRerun { shuffle, map_part } => {
+                println!("  shuffle {shuffle} map task {map_part} re-run from lineage")
+            }
+            EngineEvent::TaskEnd { stage, metrics } if metrics.recomputed_partitions > 0 => {
+                recompute_tasks += 1;
+                if recompute_tasks <= 8 {
+                    println!(
+                        "  stage {stage} partition {} recomputed {} lost cached block(s)",
+                        metrics.partition, metrics.recomputed_partitions
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+    if recompute_tasks > 8 {
+        println!(
+            "  ... and {} more recompute-flagged tasks",
+            recompute_tasks - 8
+        );
+    }
+    assert!(
+        recompute_tasks > 0,
+        "the event stream must show recomputation"
     );
 
     // Verify: identical observed statistics and resampling counters.

@@ -58,7 +58,11 @@ fn main() {
     order.sort_by(|&a, &b| mc_p[a].partial_cmp(&mc_p[b]).expect("no NaN p-values"));
     for &k in order.iter().take(6) {
         let s = &mc.observed[k];
-        let marker = if s.set == causal_set { "  <-- planted" } else { "" };
+        let marker = if s.set == causal_set {
+            "  <-- planted"
+        } else {
+            ""
+        };
         println!(
             "{:>3}   {:>10.2}    {:.3}   {:.3}{marker}",
             s.set, s.score, mc_p[k], perm_p[k]

@@ -36,14 +36,20 @@ fn main() {
     let ctx = SparkScoreContext::from_memory(engine, &dataset, 8, AnalysisOptions::default());
     let run = ctx.monte_carlo(199, 7, true);
 
-    println!("\ntop SNP-sets by empirical p-value (B = {}):", run.num_replicates);
+    println!(
+        "\ntop SNP-sets by empirical p-value (B = {}):",
+        run.num_replicates
+    );
     for (set, p) in run.top_sets(5) {
         let observed = run
             .observed
             .iter()
             .find(|s| s.set == set)
             .expect("set present");
-        println!("  set {set:>3}: SKAT = {:>10.2}  p = {p:.3}", observed.score);
+        println!(
+            "  set {set:>3}: SKAT = {:>10.2}  p = {p:.3}",
+            observed.score
+        );
     }
 
     println!("\nexecution:");

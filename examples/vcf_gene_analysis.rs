@@ -44,7 +44,12 @@ fn main() {
         })
         .collect();
     let vcf_text = write_vcf(&samples, &rows, &loci);
-    println!("VCF: {} bytes, {} samples, {} variants", vcf_text.len(), n, m);
+    println!(
+        "VCF: {} bytes, {} samples, {} variants",
+        vcf_text.len(),
+        n,
+        m
+    );
 
     // ---- Parse it back (as a real pipeline would receive it) ----
     let vcf = parse_vcf(&vcf_text).expect("well-formed VCF");
@@ -93,7 +98,9 @@ fn main() {
     // ---- Distributed analysis ----
     let engine = Engine::builder(ClusterSpec::m3_2xlarge(4)).build();
     let gm = engine.parallelize(
-        rows.iter().map(|r| (r.id, r.dosages.clone())).collect::<Vec<_>>(),
+        rows.iter()
+            .map(|r| (r.id, r.dosages.clone()))
+            .collect::<Vec<_>>(),
         8,
     );
     let weights_rdd = engine.parallelize(weights, 2);
@@ -110,9 +117,19 @@ fn main() {
     println!("\ngene-level results (B = {}):", run.num_replicates);
     let pvalues = run.pvalues();
     for ((score, p), gene) in run.observed.iter().zip(&pvalues).zip(&genes) {
-        let marker = if gene.id == 2 { "  <-- harbors causal variant" } else { "" };
-        println!("  {}: SKAT = {:>9.2}, p = {:.3}{marker}", gene.name, score.score, p);
+        let marker = if gene.id == 2 {
+            "  <-- harbors causal variant"
+        } else {
+            ""
+        };
+        println!(
+            "  {}: SKAT = {:>9.2}, p = {:.3}{marker}",
+            gene.name, score.score, p
+        );
     }
     assert_eq!(run.top_sets(1)[0].0, 2, "GENE3 must rank first");
-    println!("\ndetected GENE3; virtual cluster time {:.1}s", run.virtual_secs);
+    println!(
+        "\ndetected GENE3; virtual cluster time {:.1}s",
+        run.virtual_secs
+    );
 }

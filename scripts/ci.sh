@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Repository CI gate: build, test, format, lint.
+#
+# Run from the repository root:  ./scripts/ci.sh
+# Each step must pass; the script stops at the first failure.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q =="
+cargo test -q
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy --workspace -- -D warnings =="
+cargo clippy --workspace -- -D warnings
+
+echo "CI gate passed."

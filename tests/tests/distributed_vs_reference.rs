@@ -79,14 +79,8 @@ fn monte_carlo_counts_match_reference_exactly() {
     let ctx = SparkScoreContext::from_memory(engine(2), &ds, 4, AnalysisOptions::default());
     let run = ctx.monte_carlo(50, 99, true);
     let model = CoxScore::new(&ds.phenotypes);
-    let reference = resample::monte_carlo(
-        &model,
-        &ds.genotype_rows(),
-        &ds.weights,
-        &ds.sets,
-        50,
-        99,
-    );
+    let reference =
+        resample::monte_carlo(&model, &ds.genotype_rows(), &ds.weights, &ds.sets, 50, 99);
     assert_scores_close(&run.observed, &reference.observed);
     assert_eq!(run.counts_ge, reference.counts_ge);
     assert_eq!(run.pvalues(), reference.pvalues());
@@ -130,8 +124,8 @@ fn dfs_and_memory_paths_agree() {
     let from_dfs = SparkScoreContext::from_dfs(Arc::clone(&e), &paths, AnalysisOptions::default())
         .unwrap()
         .observed();
-    let from_mem = SparkScoreContext::from_memory(engine(3), &ds, 4, AnalysisOptions::default())
-        .observed();
+    let from_mem =
+        SparkScoreContext::from_memory(engine(3), &ds, 4, AnalysisOptions::default()).observed();
     for (a, b) in from_dfs.scores.iter().zip(&from_mem.scores) {
         assert_eq!(a.set, b.set);
         assert!(

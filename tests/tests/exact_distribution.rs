@@ -39,7 +39,11 @@ fn distributed_permutation_converges_to_exact_enumeration() {
         2,
     );
     let weights_rdd = engine.parallelize(
-        weights.iter().enumerate().map(|(j, &w)| (j as u64, w)).collect::<Vec<_>>(),
+        weights
+            .iter()
+            .enumerate()
+            .map(|(j, &w)| (j as u64, w))
+            .collect::<Vec<_>>(),
         1,
     );
     let ctx = SparkScoreContext::from_parts(
@@ -53,9 +57,6 @@ fn distributed_permutation_converges_to_exact_enumeration() {
     let sampled = ctx.permutation(3000, 17).pvalues();
 
     for (k, (s, e)) in sampled.iter().zip(&exact).enumerate() {
-        assert!(
-            (s - e).abs() < 0.03,
-            "set {k}: sampled {s} vs exact {e}"
-        );
+        assert!((s - e).abs() < 0.03, "set {k}: sampled {s} vs exact {e}");
     }
 }

@@ -96,7 +96,10 @@ fn burden_and_skat_rank_differently_on_mixed_signs() {
     .monte_carlo(199, 4, true)
     .pvalues()[0];
 
-    assert!(skat_p <= 0.01, "SKAT must catch opposite-sign effects: {skat_p}");
+    assert!(
+        skat_p <= 0.01,
+        "SKAT must catch opposite-sign effects: {skat_p}"
+    );
     assert!(
         burden_p > skat_p,
         "burden ({burden_p}) should be weaker than SKAT ({skat_p}) here"
@@ -152,10 +155,7 @@ fn covariate_adjustment_kills_confounded_set_in_full_pipeline() {
 
     let run_with = |phenotype: Phenotype| {
         let e = engine();
-        let gm = e.parallelize(
-            vec![(0u64, g_confounded.clone()), (1, g_causal.clone())],
-            2,
-        );
+        let gm = e.parallelize(vec![(0u64, g_confounded.clone()), (1, g_causal.clone())], 2);
         let weights = e.parallelize(vec![(0u64, 1.0), (1, 1.0)], 1);
         SparkScoreContext::from_parts(
             Arc::clone(&e),
@@ -170,14 +170,23 @@ fn covariate_adjustment_kills_confounded_set_in_full_pipeline() {
     };
 
     let raw = run_with(Phenotype::Quantitative(y.clone()));
-    assert!(raw[0] <= 0.05, "confounded set looks significant unadjusted: {raw:?}");
+    assert!(
+        raw[0] <= 0.05,
+        "confounded set looks significant unadjusted: {raw:?}"
+    );
 
     let adj = run_with(Phenotype::QuantitativeAdjusted {
         values: y,
         covariates: vec![confounder],
     });
-    assert!(adj[0] > 0.05, "adjustment must kill the confounded set: {adj:?}");
-    assert!(adj[1] <= 0.05, "the causal set must survive adjustment: {adj:?}");
+    assert!(
+        adj[0] > 0.05,
+        "adjustment must kill the confounded set: {adj:?}"
+    );
+    assert!(
+        adj[1] <= 0.05,
+        "the causal set must survive adjustment: {adj:?}"
+    );
 }
 
 #[test]

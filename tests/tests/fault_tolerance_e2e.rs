@@ -34,11 +34,7 @@ fn baseline_counts(ds: &GwasDataset) -> (Vec<f64>, Vec<usize>) {
     )
 }
 
-fn assert_matches_baseline(
-    run: &sparkscore_core::ResamplingRun,
-    scores: &[f64],
-    counts: &[usize],
-) {
+fn assert_matches_baseline(run: &sparkscore_core::ResamplingRun, scores: &[f64], counts: &[usize]) {
     for (got, want) in run.observed.iter().zip(scores) {
         assert!(
             (got.score - want).abs() <= 1e-9 * (1.0 + want.abs()),
@@ -46,7 +42,10 @@ fn assert_matches_baseline(
             got.score
         );
     }
-    assert_eq!(run.counts_ge, counts, "resampling counters changed under faults");
+    assert_eq!(
+        run.counts_ge, counts,
+        "resampling counters changed under faults"
+    );
 }
 
 #[test]
@@ -59,7 +58,10 @@ fn node_death_mid_analysis_preserves_results() {
     let ctx = SparkScoreContext::from_memory(Arc::clone(&e), &ds, 4, AnalysisOptions::default());
     let run = ctx.monte_carlo(15, 42, true);
     assert_matches_baseline(&run, &scores, &counts);
-    assert!(!e.cluster().node(NodeId(1)).is_alive(), "the kill must have fired");
+    assert!(
+        !e.cluster().node(NodeId(1)).is_alive(),
+        "the kill must have fired"
+    );
 }
 
 #[test]
@@ -67,15 +69,15 @@ fn node_death_with_dfs_inputs_recovers_from_replicas() {
     let ds = dataset(2);
     let e = engine(3);
     let (paths, _) = write_dataset_to_dfs(e.dfs(), "/gwas", &ds).unwrap();
-    let ctx = SparkScoreContext::from_dfs(Arc::clone(&e), &paths, AnalysisOptions::default())
-        .unwrap();
+    let ctx =
+        SparkScoreContext::from_dfs(Arc::clone(&e), &paths, AnalysisOptions::default()).unwrap();
     let clean = ctx.monte_carlo(10, 7, true);
 
     let e2 = engine(3);
     write_dataset_to_dfs(e2.dfs(), "/gwas", &ds).unwrap();
     e2.set_fault_plan(FaultPlan::kill_node_after(NodeId(0), 30));
-    let ctx2 = SparkScoreContext::from_dfs(Arc::clone(&e2), &paths, AnalysisOptions::default())
-        .unwrap();
+    let ctx2 =
+        SparkScoreContext::from_dfs(Arc::clone(&e2), &paths, AnalysisOptions::default()).unwrap();
     let faulty = ctx2.monte_carlo(10, 7, true);
 
     assert_eq!(clean.counts_ge, faulty.counts_ge);

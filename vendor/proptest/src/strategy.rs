@@ -1,0 +1,202 @@
+//! Value-generation strategies.
+//!
+//! A [`Strategy`] produces one value per case from the deterministic case
+//! RNG. Ranges, tuples, string patterns, and `any::<T>()` are covered;
+//! `collection::vec` lives in [`crate::collection`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleRange};
+
+/// Generates one value per test case.
+pub trait Strategy {
+    type Value;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<T> Strategy for std::ops::Range<T>
+where
+    std::ops::Range<T>: SampleRange<T> + Clone,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T> Strategy for std::ops::RangeInclusive<T>
+where
+    std::ops::RangeInclusive<T>: SampleRange<T> + Clone,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_strategy_tuple! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// Types with a canonical "anything" strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_std {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.gen()
+            }
+        }
+    )*};
+}
+impl_arbitrary_std!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64, f32);
+
+/// Strategy wrapper returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// String patterns: `"[a-z]{0,20}"`-style character-class generators.
+// ---------------------------------------------------------------------------
+
+enum PatternPiece {
+    /// (candidate characters, min repeats, max repeats)
+    Class(Vec<char>, usize, usize),
+    Literal(char),
+}
+
+fn parse_pattern(pattern: &str) -> Vec<PatternPiece> {
+    let mut pieces = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let piece = if c == '[' {
+            let mut candidates = Vec::new();
+            loop {
+                match chars.next() {
+                    Some(']') => break,
+                    Some(lo) => {
+                        if chars.peek() == Some(&'-') {
+                            chars.next();
+                            let hi = chars
+                                .next()
+                                .unwrap_or_else(|| panic!("bad class in pattern {pattern:?}"));
+                            assert!(hi != ']', "bad range in pattern {pattern:?}");
+                            for v in lo as u32..=hi as u32 {
+                                candidates.extend(char::from_u32(v));
+                            }
+                        } else {
+                            candidates.push(lo);
+                        }
+                    }
+                    None => panic!("unterminated class in pattern {pattern:?}"),
+                }
+            }
+            assert!(!candidates.is_empty(), "empty class in pattern {pattern:?}");
+            // Optional {m}, {m,n} repetition.
+            if chars.peek() == Some(&'{') {
+                chars.next();
+                let body: String = chars.by_ref().take_while(|&c| c != '}').collect();
+                let (min, max) = match body.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse().expect("bad repetition min"),
+                        n.trim().parse().expect("bad repetition max"),
+                    ),
+                    None => {
+                        let m: usize = body.trim().parse().expect("bad repetition count");
+                        (m, m)
+                    }
+                };
+                assert!(min <= max, "inverted repetition in pattern {pattern:?}");
+                PatternPiece::Class(candidates, min, max)
+            } else {
+                PatternPiece::Class(candidates, 1, 1)
+            }
+        } else {
+            assert!(
+                !"{}()*+?|\\.^$".contains(c),
+                "vendored proptest supports only [class]{{m,n}} patterns, got {pattern:?}"
+            );
+            PatternPiece::Literal(c)
+        };
+        pieces.push(piece);
+    }
+    pieces
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let mut out = String::new();
+        for piece in parse_pattern(self) {
+            match piece {
+                PatternPiece::Literal(c) => out.push(c),
+                PatternPiece::Class(candidates, min, max) => {
+                    let n = rng.gen_range(min..=max);
+                    for _ in 0..n {
+                        out.push(candidates[rng.gen_range(0..candidates.len())]);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pattern_with_literals_and_class() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let s = "snp[0-9]{2,4}".generate(&mut rng);
+            assert!(s.starts_with("snp"));
+            let digits = &s[3..];
+            assert!((2..=4).contains(&digits.len()));
+            assert!(digits.bytes().all(|b| b.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn empty_repetition_allowed() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut saw_empty = false;
+        for _ in 0..200 {
+            let s = "[a-z]{0,2}".generate(&mut rng);
+            assert!(s.len() <= 2);
+            saw_empty |= s.is_empty();
+        }
+        assert!(saw_empty, "min bound 0 must be reachable");
+    }
+}

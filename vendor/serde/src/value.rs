@@ -1,0 +1,307 @@
+//! The generic JSON-shaped value tree shared by the vendored `serde` and
+//! `serde_json` stand-ins.
+//!
+//! Objects preserve insertion order (a `Vec` of pairs rather than a map):
+//! event-log lines stay humanly diffable and round-trip byte-for-byte.
+
+/// A JSON number. Integers and floats are kept distinct so 64-bit counters
+/// (task counts, byte counts, virtual nanoseconds) survive a round trip
+/// without floating-point truncation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    Int(i128),
+    Float(f64),
+}
+
+/// A JSON-shaped document tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    /// Insertion-ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Human-readable name of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Member lookup on an object (first match); `None` otherwise.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_i128(&self) -> Option<i128> {
+        match self {
+            Value::Number(Number::Int(i)) => Some(*i),
+            // Accept floats that are exactly integral: a parser or producer
+            // may have widened an integer.
+            Value::Number(Number::Float(f)) if f.fract() == 0.0 && f.abs() < 2f64.powi(63) => {
+                Some(*f as i128)
+            }
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        self.as_i128().and_then(|i| u64::try_from(i).ok())
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::Int(i)) => Some(*i as f64),
+            Value::Number(Number::Float(f)) => Some(*f),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+// Scalars convert both by value and behind a shared reference (`&u32`
+// from iterator adapters, etc.); a blanket `From<&T>` would conflict with
+// `From<&String>` under coherence, so the reference impls are spelled out
+// per type here.
+macro_rules! impl_value_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                Value::Number(Number::Int(v as i128))
+            }
+        }
+        impl From<&$t> for Value {
+            fn from(v: &$t) -> Value {
+                Value::from(*v)
+            }
+        }
+    )*};
+}
+impl_value_from_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Number(Number::Float(v))
+    }
+}
+
+impl From<&f64> for Value {
+    fn from(v: &f64) -> Value {
+        Value::from(*v)
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::Number(Number::Float(v as f64))
+    }
+}
+
+impl From<&f32> for Value {
+    fn from(v: &f32) -> Value {
+        Value::from(*v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&bool> for Value {
+    fn from(v: &bool) -> Value {
+        Value::Bool(*v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<&String> for Value {
+    fn from(v: &String) -> Value {
+        Value::String(v.clone())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+// Covers `Vec<Value>` too, via the reflexive `From<Value> for Value`.
+impl<T> From<Vec<T>> for Value
+where
+    Value: From<T>,
+{
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Value::from).collect())
+    }
+}
+
+impl<T, const N: usize> From<[T; N]> for Value
+where
+    Value: From<T>,
+{
+    fn from(v: [T; N]) -> Value {
+        Value::Array(v.into_iter().map(Value::from).collect())
+    }
+}
+
+impl<T> From<Option<T>> for Value
+where
+    Value: From<T>,
+{
+    fn from(v: Option<T>) -> Value {
+        match v {
+            Some(t) => Value::from(t),
+            None => Value::Null,
+        }
+    }
+}
+
+/// Escape a string into JSON text form (with surrounding quotes).
+pub fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_number(n: &Number, out: &mut String) {
+    match n {
+        Number::Int(i) => out.push_str(&i.to_string()),
+        Number::Float(f) if f.is_finite() => {
+            let text = format!("{f}");
+            out.push_str(&text);
+            // Keep floats recognizably floats in the text form.
+            if !text.contains(['.', 'e', 'E']) {
+                out.push_str(".0");
+            }
+        }
+        // JSON has no NaN/Infinity; mirror JavaScript's JSON.stringify.
+        Number::Float(_) => out.push_str("null"),
+    }
+}
+
+/// Append compact JSON text for `v` to `out`.
+pub fn write_compact(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => write_number(n, out),
+        Value::String(s) => write_escaped(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(pairs) => {
+            out.push('{');
+            for (i, (k, val)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(k, out);
+                out.push(':');
+                write_compact(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// `Display` prints compact JSON — `format!("{value}")` produces one
+/// machine-readable line. (The pretty printer lives in `serde_json`.)
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        write_compact(self, &mut out);
+        f.write_str(&out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_get_and_accessors() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::from(1u64)),
+            ("b".into(), Value::from("x")),
+        ]);
+        assert_eq!(v.get("a").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("b").unwrap().as_str(), Some("x"));
+        assert!(v.get("c").is_none());
+    }
+
+    #[test]
+    fn integral_float_coerces_to_int() {
+        assert_eq!(Value::Number(Number::Float(7.0)).as_i128(), Some(7));
+        assert_eq!(Value::Number(Number::Float(7.5)).as_i128(), None);
+    }
+
+    #[test]
+    fn u64_counter_survives_exactly() {
+        let big = u64::MAX - 3;
+        assert_eq!(Value::from(big).as_u64(), Some(big));
+    }
+}

@@ -1,0 +1,210 @@
+//! Offline stand-in for `serde_json`: the JSON text layer over the
+//! vendored `serde` value tree.
+//!
+//! Provides what the workspace uses: the [`json!`] macro, [`to_string`] /
+//! [`to_string_pretty`] / [`to_writer`], [`from_str`] / [`from_value`] /
+//! [`to_value`], and [`Value`] with a `Display` impl printing compact
+//! JSON. Numbers distinguish integers from floats so 64-bit counters
+//! round-trip exactly (see `serde::value`).
+
+mod parse;
+
+pub use parse::{from_str_value, ParseError};
+pub use serde::value::{Number, Value};
+use serde::{Deserialize, Serialize};
+
+/// Errors from this crate: JSON text errors or typed-raise errors.
+#[derive(Debug)]
+pub enum Error {
+    Parse(ParseError),
+    Raise(serde::Error),
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Parse(e) => write!(f, "{e}"),
+            Error::Raise(e) => write!(f, "{e}"),
+            Error::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<ParseError> for Error {
+    fn from(e: ParseError) -> Self {
+        Error::Parse(e)
+    }
+}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error::Raise(e)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+/// Lower any `Serialize` into a [`Value`].
+pub fn to_value<T: Serialize>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Raise a typed value out of a [`Value`].
+pub fn from_value<T: Deserialize>(value: &Value) -> Result<T, Error> {
+    Ok(T::from_value(value)?)
+}
+
+/// Serialize to compact JSON text.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_string())
+}
+
+/// Serialize to indented JSON text.
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(&value.to_value(), &mut out, 0);
+    Ok(out)
+}
+
+/// Serialize compact JSON text into a writer.
+pub fn to_writer<W: std::io::Write, T: Serialize>(mut writer: W, value: &T) -> Result<(), Error> {
+    Ok(write!(writer, "{}", value.to_value())?)
+}
+
+/// Parse JSON text and raise it into `T`.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    Ok(T::from_value(&from_str_value(text)?)?)
+}
+
+use serde::value::{write_compact, write_escaped};
+
+fn write_pretty(v: &Value, out: &mut String, indent: usize) {
+    const STEP: usize = 2;
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&" ".repeat(indent + STEP));
+                write_pretty(item, out, indent + STEP);
+            }
+            out.push('\n');
+            out.push_str(&" ".repeat(indent));
+            out.push(']');
+        }
+        Value::Object(pairs) if !pairs.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&" ".repeat(indent + STEP));
+                write_escaped(k, out);
+                out.push_str(": ");
+                write_pretty(val, out, indent + STEP);
+            }
+            out.push('\n');
+            out.push_str(&" ".repeat(indent));
+            out.push('}');
+        }
+        other => write_compact(other, out),
+    }
+}
+
+// `Value`'s compact-JSON `Display` impl lives with the type in
+// `serde::value` (orphan rule); the pretty printer above is the only
+// text-layer piece unique to this crate.
+
+/// Build a [`Value`] from JSON-shaped syntax.
+///
+/// Supports the forms the workspace uses: object literals with string-literal
+/// keys and expression values, array literals of expressions, `null`, and
+/// bare expressions convertible via `Value::from`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($item:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::Value::from($item) ),* ])
+    };
+    ({ $($key:literal : $value:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( (($key).to_string(), $crate::Value::from($value)) ),*
+        ])
+    };
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        let v = json!({
+            "name": "run",
+            "iters": 17u64,
+            "secs": 1.25,
+            "flags": vec![Value::from(true), Value::from(false)],
+            "nested": json!({"inner": 1u8}),
+        });
+        assert_eq!(v.get("name").unwrap().as_str(), Some("run"));
+        assert_eq!(v.get("iters").unwrap().as_u64(), Some(17));
+        assert_eq!(
+            v.get("nested").unwrap().get("inner").unwrap().as_u64(),
+            Some(1)
+        );
+        let text = v.to_string();
+        assert!(text.starts_with('{') && text.contains("\"iters\":17"));
+    }
+
+    #[test]
+    fn compact_round_trip() {
+        let v = json!({
+            "a": 1u64,
+            "b": [1u8, 2u8, 3u8],
+            "c": "he said \"hi\"\n",
+            "d": -2.5,
+            "e": json!(null),
+        });
+        let text = v.to_string();
+        let back = from_str_value(&text).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn pretty_parses_back() {
+        let v = json!({"x": [1u8, 2u8], "y": json!({"z": "w"})});
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        assert_eq!(from_str_value(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn big_u64_round_trips_exactly() {
+        let big = u64::MAX - 1;
+        let v = json!({ "n": big });
+        let back = from_str_value(&v.to_string()).unwrap();
+        assert_eq!(back.get("n").unwrap().as_u64(), Some(big));
+    }
+
+    #[test]
+    fn float_stays_float_in_text() {
+        let v = json!({ "f": 2.0f64 });
+        assert_eq!(v.to_string(), "{\"f\":2.0}");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let v = json!({ "f": f64::NAN });
+        assert_eq!(v.to_string(), "{\"f\":null}");
+    }
+}
