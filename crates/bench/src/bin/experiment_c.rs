@@ -58,7 +58,7 @@ fn main() {
                 measure_mc(&ctx, b, opts.runs, true)
             })
             .collect();
-        eprintln!("event log: {}", obs.log_path.display());
+        obs.finish();
         fig6.push((nodes, series));
     }
     let rows: Vec<Vec<String>> = iters
@@ -155,7 +155,7 @@ fn main() {
                 measure_mc(&ctx, b, opts.runs, true)
             })
             .collect();
-        eprintln!("event log: {}", obs.log_path.display());
+        obs.finish();
         fig7.push((shape.containers, series));
     }
     let rows: Vec<Vec<String>> = fig7_iters

@@ -47,7 +47,7 @@ fn main() {
         // Permutation at high iteration counts is the expensive half; the
         // paper ran it anyway — so do we (scaled).
         perm_points.push((label, measure_perm(&ctx, iters, opts.runs)));
-        eprintln!("event log: {}", obs.log_path.display());
+        obs.finish();
     }
 
     let rows: Vec<Vec<String>> = mc_points

@@ -130,6 +130,14 @@ pub fn pressured_engine(nodes: u32, cache_budget: u64, cfg: &SyntheticConfig) ->
         .build()
 }
 
+/// Directory where experiment event logs land: `$SPARKSCORE_EVENTS_DIR`
+/// when set (CI points this at a scratch dir), else `target/events`.
+pub fn events_dir() -> std::path::PathBuf {
+    std::env::var_os("SPARKSCORE_EVENTS_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("target/events"))
+}
+
 /// Observability attached to one experiment: a JSONL event log on disk
 /// plus an in-memory per-stage summary. Create with [`observe`] *before*
 /// handing the engine to [`context_on`]; call [`Observability::finish`] at
@@ -141,13 +149,12 @@ pub struct Observability {
     summary: Arc<StageSummaryListener>,
 }
 
-/// Attach an event log (`target/events/<name>.jsonl`) and a stage-summary
-/// listener to `engine`.
+/// Attach an event log (`<events_dir>/<name>.jsonl`, see [`events_dir`])
+/// and a stage-summary listener to `engine`.
 pub fn observe(engine: &Arc<Engine>, name: &str) -> Observability {
-    let log_path = std::path::PathBuf::from(format!("target/events/{name}.jsonl"));
-    let log = Arc::new(
-        EventLogListener::to_file(&log_path).expect("create event log under target/events"),
-    );
+    let log_path = events_dir().join(format!("{name}.jsonl"));
+    let log =
+        Arc::new(EventLogListener::to_file(&log_path).expect("create event log in events dir"));
     let summary = Arc::new(StageSummaryListener::new());
     engine
         .events()
@@ -190,7 +197,61 @@ impl Observability {
             }
         }
         println!("event log: {}", self.log_path.display());
+        match std::fs::read_to_string(&self.log_path) {
+            Ok(text) => match sparkscore_obs::ExecutionTrace::parse(&text) {
+                Ok(trace) => print!("{}", trace_digest(&trace)),
+                Err(e) => println!("trace digest unavailable: {e}"),
+            },
+            Err(e) => println!("trace digest unavailable: {e}"),
+        }
     }
+}
+
+/// Compact critical-path + cache-ROI digest for a finished run: the
+/// slowest job's stage chain and bottleneck, plus the run-wide cache
+/// economics. (The full per-job breakdown is `trace report <log>`.)
+pub fn trace_digest(trace: &sparkscore_obs::ExecutionTrace) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "\n== trace digest ==");
+    let paths = sparkscore_obs::critical_paths(trace);
+    if let Some(worst) = paths.iter().max_by_key(|p| (p.path_ns, p.job)) {
+        let chain: Vec<String> = worst.stages.iter().map(|s| s.stage.to_string()).collect();
+        let _ = writeln!(
+            out,
+            "slowest job: {} of {} jobs, critical path {} over stages [{}]",
+            worst.job,
+            paths.len(),
+            sparkscore_rdd::events::fmt_ns(worst.path_ns),
+            chain.join(" -> "),
+        );
+        if let Some(b) = worst.bottleneck() {
+            let kind = match b.kind {
+                Some(sparkscore_rdd::StageKind::ShuffleMap) => "ShuffleMap",
+                Some(sparkscore_rdd::StageKind::Result) => "Result",
+                None => "?",
+            };
+            let _ = writeln!(
+                out,
+                "bottleneck: stage {} ({kind}, {} tasks, makespan {})",
+                b.stage,
+                b.num_tasks,
+                sparkscore_rdd::events::fmt_ns(b.makespan_ns),
+            );
+        }
+    } else {
+        let _ = writeln!(out, "no jobs in log");
+    }
+    let _ = writeln!(
+        out,
+        "{}",
+        sparkscore_obs::cache_roi_line(&sparkscore_obs::cache_roi(trace))
+    );
+    let _ = writeln!(
+        out,
+        "full analysis: cargo run -p sparkscore-obs --bin trace -- report <log>"
+    );
+    out
 }
 
 /// Build the analysis context for a synthetic workload on `engine`,

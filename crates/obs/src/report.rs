@@ -1,0 +1,282 @@
+//! Text rendering: the `trace report` digest, the standalone
+//! critical-path view, and the two-log `trace diff`.
+//!
+//! All output is built from deterministic iteration orders and fixed
+//! float formatting, so a fixed input log renders byte-identical text.
+
+use sparkscore_rdd::events::{fmt_bytes, fmt_ns};
+use sparkscore_rdd::StageKind;
+
+use crate::analyze::{cache_roi, critical_paths, stage_skew, CacheRoi, CriticalPath};
+use crate::trace::ExecutionTrace;
+
+fn kind_str(kind: Option<StageKind>) -> &'static str {
+    match kind {
+        Some(StageKind::Result) => "Result",
+        Some(StageKind::ShuffleMap) => "ShuffleMap",
+        None => "?",
+    }
+}
+
+fn render_path(out: &mut String, path: &CriticalPath) {
+    out.push_str(&format!(
+        "job {}: critical path {} over {} stage(s) (observed advance {})\n",
+        path.job,
+        fmt_ns(path.path_ns),
+        path.stages.len(),
+        fmt_ns(path.virtual_advance_ns),
+    ));
+    let chain: Vec<String> = path
+        .stages
+        .iter()
+        .map(|s| format!("{}[{}]", s.stage, kind_str(s.kind)))
+        .collect();
+    out.push_str(&format!("  chain: {}\n", chain.join(" -> ")));
+    for s in &path.stages {
+        out.push_str(&format!(
+            "  stage {:>4} {:<10} {:>3} tasks  makespan {:>9}  slowest task {:>9} (p{})  slack {:>9}\n",
+            s.stage,
+            kind_str(s.kind),
+            s.num_tasks,
+            fmt_ns(s.makespan_ns),
+            fmt_ns(s.critical_task_ns),
+            s.critical_partition,
+            fmt_ns(s.slack_ns),
+        ));
+    }
+    if let Some(b) = path.bottleneck() {
+        out.push_str(&format!(
+            "  bottleneck: stage {} ({} of the path)\n",
+            b.stage,
+            percent(b.makespan_ns, path.path_ns),
+        ));
+    }
+}
+
+fn percent(part: u64, whole: u64) -> String {
+    if whole == 0 {
+        "-".to_string()
+    } else {
+        format!("{:.1}%", part as f64 / whole as f64 * 100.0)
+    }
+}
+
+/// The one-line cache accounting the digest and the diff both print.
+/// Hit/miss totals are exact sums of the log's per-task counters.
+pub fn cache_roi_line(roi: &CacheRoi) -> String {
+    let rate = roi
+        .hit_rate()
+        .map_or_else(|| "-".to_string(), |r| format!("{:.1}%", r * 100.0));
+    format!(
+        "cache ROI: hits={} misses={} hit-rate={} recomputed={} evicted={}+{} \
+         est-saved={} ({}/miss) est-bytes-saved={}",
+        roi.hits,
+        roi.misses,
+        rate,
+        roi.recomputed,
+        roi.evictions_pressure,
+        roi.evictions_other,
+        fmt_ns(roi.est_saved_ns),
+        fmt_ns(roi.est_ns_per_miss),
+        fmt_bytes(roi.est_saved_bytes),
+    )
+}
+
+/// Standalone critical-path view (`trace critical-path`).
+pub fn critical_path_report(trace: &ExecutionTrace) -> String {
+    let mut out = String::new();
+    for path in critical_paths(trace) {
+        render_path(&mut out, &path);
+    }
+    if out.is_empty() {
+        out.push_str("no jobs in log\n");
+    }
+    out
+}
+
+/// The full digest (`trace report`): run totals, per-job critical paths,
+/// the most skewed stages, and the cache-ROI line.
+pub fn report(trace: &ExecutionTrace) -> String {
+    let mut out = String::new();
+    out.push_str("== run totals ==\n");
+    out.push_str(&format!(
+        "jobs={} stages={} tasks={} virtual={} input={} shuffle R/W={}/{} map-reruns={} faults={}\n",
+        trace.jobs.len(),
+        trace.stages.len(),
+        trace.total_tasks(),
+        fmt_ns(trace.total_virtual_ns()),
+        fmt_bytes(trace.total_input_bytes()),
+        fmt_bytes(trace.total_shuffle_read_bytes()),
+        fmt_bytes(trace.total_shuffle_write_bytes()),
+        trace.shuffle_map_reruns,
+        trace.faults.len(),
+    ));
+
+    out.push_str("\n== critical paths ==\n");
+    out.push_str(&critical_path_report(trace));
+
+    out.push_str("\n== task skew (worst stages by p99/p50) ==\n");
+    let mut skews = stage_skew(trace);
+    skews.sort_by(|a, b| {
+        b.time_skew
+            .total_cmp(&a.time_skew)
+            .then(a.stage.cmp(&b.stage))
+    });
+    for s in skews.iter().take(8) {
+        out.push_str(&format!(
+            "stage {:>4} {:<10} {:>3} tasks  p50 {:>9}  p99 {:>9}  max {:>9}  skew {:>5.2}x  bytes max/mean {:.2}x\n",
+            s.stage,
+            kind_str(s.kind),
+            s.num_tasks,
+            fmt_ns(s.p50_ns),
+            fmt_ns(s.p99_ns),
+            fmt_ns(s.max_ns),
+            s.time_skew,
+            s.size_imbalance,
+        ));
+    }
+    if skews.is_empty() {
+        out.push_str("no completed tasks in log\n");
+    }
+
+    out.push_str("\n== cache ==\n");
+    out.push_str(&cache_roi_line(&cache_roi(trace)));
+    out.push('\n');
+    out
+}
+
+fn signed_ns(a: u64, b: u64) -> String {
+    if a >= b {
+        format!("+{}", fmt_ns(a - b))
+    } else {
+        format!("-{}", fmt_ns(b - a))
+    }
+}
+
+/// Stage-by-stage and aggregate comparison of two runs (`trace diff`) —
+/// e.g. an Algorithm-2 permutation log vs an Algorithm-3 multiplier log
+/// of the same dataset. Attributes the virtual-time gap to cache reuse by
+/// comparing each side's cache ROI.
+pub fn diff_report(name_a: &str, a: &ExecutionTrace, name_b: &str, b: &ExecutionTrace) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("diff: A={name_a}  B={name_b}\n\n"));
+    out.push_str("== totals (A vs B) ==\n");
+    let rows: [(&str, String, String); 5] = [
+        ("jobs", a.jobs.len().to_string(), b.jobs.len().to_string()),
+        (
+            "stages",
+            a.stages.len().to_string(),
+            b.stages.len().to_string(),
+        ),
+        (
+            "tasks",
+            a.total_tasks().to_string(),
+            b.total_tasks().to_string(),
+        ),
+        (
+            "virtual time",
+            fmt_ns(a.total_virtual_ns()),
+            fmt_ns(b.total_virtual_ns()),
+        ),
+        (
+            "shuffle write",
+            fmt_bytes(a.total_shuffle_write_bytes()),
+            fmt_bytes(b.total_shuffle_write_bytes()),
+        ),
+    ];
+    for (label, va, vb) in rows {
+        out.push_str(&format!("{label:>14}: {va:>12} | {vb:>12}\n"));
+    }
+    out.push_str(&format!(
+        "{:>14}: {} (A - B)\n",
+        "gap",
+        signed_ns(a.total_virtual_ns(), b.total_virtual_ns())
+    ));
+
+    let (roi_a, roi_b) = (cache_roi(a), cache_roi(b));
+    out.push_str("\n== cache ROI ==\n");
+    out.push_str(&format!("A: {}\n", cache_roi_line(&roi_a)));
+    out.push_str(&format!("B: {}\n", cache_roi_line(&roi_b)));
+    let (winner, delta) = if roi_a.est_saved_ns >= roi_b.est_saved_ns {
+        (name_a, roi_a.est_saved_ns - roi_b.est_saved_ns)
+    } else {
+        (name_b, roi_b.est_saved_ns - roi_a.est_saved_ns)
+    };
+    out.push_str(&format!(
+        "{winner} saves an estimated {} more virtual time through cache reuse \
+         ({} vs {} hits)\n",
+        fmt_ns(delta),
+        roi_a.hits,
+        roi_b.hits,
+    ));
+
+    out.push_str("\n== stage-by-stage (aligned by submission index) ==\n");
+    out.push_str("   idx |            A              |            B\n");
+    let n = a.stages.len().max(b.stages.len());
+    for i in 0..n {
+        let cell = |t: &ExecutionTrace| {
+            t.stages.get(i).map_or_else(
+                || "-".to_string(),
+                |s| {
+                    format!(
+                        "s{} {} {}t {}",
+                        s.stage,
+                        kind_str(s.kind),
+                        s.num_tasks,
+                        fmt_ns(s.makespan_ns)
+                    )
+                },
+            )
+        };
+        out.push_str(&format!("{i:>6} | {:<25} | {:<25}\n", cell(a), cell(b)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::sample_stream;
+
+    fn trace() -> ExecutionTrace {
+        ExecutionTrace::from_events(&sample_stream())
+    }
+
+    #[test]
+    fn report_is_deterministic_and_complete() {
+        let a = report(&trace());
+        let b = report(&trace());
+        assert_eq!(a, b, "same events must render byte-identical reports");
+        assert!(a.contains("== critical paths =="));
+        assert!(a.contains("chain: 0[ShuffleMap] -> 1[Result]"), "{a}");
+        assert!(a.contains("cache ROI: hits=7 misses=5"), "{a}");
+        assert!(a.contains("map-reruns=1 faults=1"), "{a}");
+    }
+
+    #[test]
+    fn critical_path_report_handles_empty_trace() {
+        let empty = ExecutionTrace::default();
+        assert_eq!(critical_path_report(&empty), "no jobs in log\n");
+    }
+
+    #[test]
+    fn diff_attributes_gap_to_cache_reuse() {
+        let a = trace();
+        let mut b = trace();
+        // Strip B's cache hits: B is the "no reuse" run.
+        for s in &mut b.stages {
+            for t in &mut s.tasks {
+                t.cache_hits = 0;
+            }
+        }
+        let d = diff_report("alg3", &a, "alg2", &b);
+        assert!(d.contains("diff: A=alg3  B=alg2"));
+        assert!(
+            d.contains("alg3 saves an estimated"),
+            "alg3 has more hits: {d}"
+        );
+        assert!(d.contains("(7 vs 0 hits)"), "{d}");
+        // Deterministic too.
+        assert_eq!(d, diff_report("alg3", &a, "alg2", &b));
+    }
+}

@@ -1,0 +1,419 @@
+//! The trace model: an event stream reassembled into jobs → stages → tasks.
+//!
+//! [`ExecutionTrace`] is the analyzer's in-memory form of one engine run,
+//! built either from a parsed JSONL event log ([`ExecutionTrace::parse`])
+//! or directly from a captured event stream
+//! ([`ExecutionTrace::from_events`], e.g. a
+//! `sparkscore_rdd::MemoryEventListener` snapshot). Analyses over the
+//! trace live in [`crate::analyze`]; rendering in [`crate::report`] and
+//! [`crate::dot`].
+
+use sparkscore_rdd::events::parse_event_log;
+use sparkscore_rdd::{EngineEvent, FaultDetail, StageKind, TaskMetrics};
+
+/// One stage of the run with everything its events reported.
+#[derive(Debug, Clone, Default)]
+pub struct TraceStage {
+    pub stage: u64,
+    /// Owning job, `None` for engine-internal stages.
+    pub job: Option<u64>,
+    pub kind: Option<StageKind>,
+    /// Task count announced at submission.
+    pub num_tasks: usize,
+    /// Virtual makespan of the stage's task batch.
+    pub makespan_ns: u64,
+    /// Tasks whose input came from a local replica.
+    pub local_reads: usize,
+    /// Completed tasks, in the order the engine reported them.
+    pub tasks: Vec<TaskMetrics>,
+}
+
+impl TraceStage {
+    /// Sum of per-task virtual runtimes — the stage's total work, as
+    /// opposed to its (parallel) makespan.
+    pub fn total_task_ns(&self) -> u64 {
+        self.tasks.iter().map(TaskMetrics::virtual_runtime_ns).sum()
+    }
+
+    /// The slowest task by virtual runtime, if any completed.
+    pub fn critical_task(&self) -> Option<&TaskMetrics> {
+        self.tasks.iter().max_by_key(|t| {
+            // Deterministic tie-break on partition index.
+            (t.virtual_runtime_ns(), std::cmp::Reverse(t.partition))
+        })
+    }
+
+    pub fn shuffle_read_bytes(&self) -> u64 {
+        self.tasks.iter().map(|t| t.shuffle_read_bytes).sum()
+    }
+
+    pub fn shuffle_write_bytes(&self) -> u64 {
+        self.tasks.iter().map(|t| t.shuffle_write_bytes).sum()
+    }
+
+    pub fn input_bytes(&self) -> u64 {
+        self.tasks.iter().map(|t| t.input_bytes).sum()
+    }
+
+    pub fn cache_hits(&self) -> u64 {
+        self.tasks.iter().map(|t| t.cache_hits).sum()
+    }
+
+    pub fn cache_misses(&self) -> u64 {
+        self.tasks.iter().map(|t| t.cache_misses).sum()
+    }
+}
+
+/// One job: its virtual interval and the stages it submitted, in order.
+///
+/// The engine runs a job's stages sequentially on the driver (each
+/// shuffle-map stage in dependency order, then the result stage), so this
+/// stage list *is* the job's dependency chain.
+#[derive(Debug, Clone, Default)]
+pub struct TraceJob {
+    pub job: u64,
+    /// Virtual clock at submission.
+    pub virtual_start_ns: u64,
+    /// Virtual clock at completion (`None` for a truncated log).
+    pub virtual_end_ns: Option<u64>,
+    /// Virtual time the job added to the clock.
+    pub virtual_advance_ns: u64,
+    /// Stage ids in submission (= dependency) order.
+    pub stages: Vec<u64>,
+}
+
+/// A full engine run reassembled from its event stream.
+#[derive(Debug, Clone, Default)]
+pub struct ExecutionTrace {
+    /// Jobs in submission order.
+    pub jobs: Vec<TraceJob>,
+    /// Stages in submission order (including engine-internal ones).
+    pub stages: Vec<TraceStage>,
+    /// Cache evictions under LRU pressure.
+    pub evictions_pressure: u64,
+    /// Cache evictions from faults/unpersist.
+    pub evictions_other: u64,
+    /// Lost shuffle map outputs recomputed inline from lineage.
+    pub shuffle_map_reruns: u64,
+    /// Faults the injector actually applied.
+    pub faults: Vec<FaultDetail>,
+}
+
+impl ExecutionTrace {
+    /// Reassemble a trace from a typed event stream.
+    pub fn from_events(events: &[EngineEvent]) -> Self {
+        let mut trace = ExecutionTrace::default();
+        for event in events {
+            trace.apply(event);
+        }
+        trace
+    }
+
+    /// Parse a JSONL event log (as written by
+    /// `sparkscore_rdd::EventLogListener`) into a trace.
+    pub fn parse(text: &str) -> Result<Self, serde_json::Error> {
+        Ok(Self::from_events(&parse_event_log(text)?))
+    }
+
+    fn job_mut(&mut self, job: u64) -> &mut TraceJob {
+        if let Some(i) = self.jobs.iter().position(|j| j.job == job) {
+            return &mut self.jobs[i];
+        }
+        self.jobs.push(TraceJob {
+            job,
+            ..TraceJob::default()
+        });
+        self.jobs.last_mut().expect("just pushed")
+    }
+
+    fn stage_mut(&mut self, stage: u64) -> &mut TraceStage {
+        if let Some(i) = self.stages.iter().position(|s| s.stage == stage) {
+            return &mut self.stages[i];
+        }
+        self.stages.push(TraceStage {
+            stage,
+            ..TraceStage::default()
+        });
+        self.stages.last_mut().expect("just pushed")
+    }
+
+    fn apply(&mut self, event: &EngineEvent) {
+        match event {
+            EngineEvent::JobStart {
+                job,
+                virtual_now_ns,
+            } => {
+                let j = self.job_mut(*job);
+                j.virtual_start_ns = *virtual_now_ns;
+            }
+            EngineEvent::JobEnd {
+                job,
+                virtual_now_ns,
+                virtual_advance_ns,
+            } => {
+                let j = self.job_mut(*job);
+                j.virtual_end_ns = Some(*virtual_now_ns);
+                j.virtual_advance_ns = *virtual_advance_ns;
+            }
+            EngineEvent::StageSubmitted {
+                job,
+                stage,
+                kind,
+                num_tasks,
+            } => {
+                {
+                    let s = self.stage_mut(*stage);
+                    s.job = *job;
+                    s.kind = Some(*kind);
+                    s.num_tasks = *num_tasks;
+                }
+                if let Some(job) = job {
+                    let j = self.job_mut(*job);
+                    if !j.stages.contains(stage) {
+                        j.stages.push(*stage);
+                    }
+                }
+            }
+            EngineEvent::StageCompleted {
+                stage,
+                makespan_ns,
+                local_reads,
+                ..
+            } => {
+                let s = self.stage_mut(*stage);
+                s.makespan_ns = *makespan_ns;
+                s.local_reads = *local_reads;
+            }
+            EngineEvent::TaskStart { .. } => {}
+            EngineEvent::TaskEnd { stage, metrics } => {
+                self.stage_mut(*stage).tasks.push(*metrics);
+            }
+            EngineEvent::CacheEvicted { pressure, .. } => {
+                if *pressure {
+                    self.evictions_pressure += 1;
+                } else {
+                    self.evictions_other += 1;
+                }
+            }
+            EngineEvent::ShuffleMapRerun { .. } => self.shuffle_map_reruns += 1,
+            EngineEvent::FaultInjected { fault } => self.faults.push(*fault),
+        }
+    }
+
+    pub fn stage(&self, stage: u64) -> Option<&TraceStage> {
+        self.stages.iter().find(|s| s.stage == stage)
+    }
+
+    /// A job's stages in submission (= dependency) order.
+    pub fn job_stages(&self, job: u64) -> Vec<&TraceStage> {
+        self.jobs
+            .iter()
+            .find(|j| j.job == job)
+            .map(|j| j.stages.iter().filter_map(|&s| self.stage(s)).collect())
+            .unwrap_or_default()
+    }
+
+    pub fn total_tasks(&self) -> usize {
+        self.stages.iter().map(|s| s.tasks.len()).sum()
+    }
+
+    /// Total virtual time across all completed jobs.
+    pub fn total_virtual_ns(&self) -> u64 {
+        self.jobs.iter().map(|j| j.virtual_advance_ns).sum()
+    }
+
+    pub fn total_shuffle_read_bytes(&self) -> u64 {
+        self.stages.iter().map(TraceStage::shuffle_read_bytes).sum()
+    }
+
+    pub fn total_shuffle_write_bytes(&self) -> u64 {
+        self.stages
+            .iter()
+            .map(TraceStage::shuffle_write_bytes)
+            .sum()
+    }
+
+    pub fn total_input_bytes(&self) -> u64 {
+        self.stages.iter().map(TraceStage::input_bytes).sum()
+    }
+}
+
+/// A two-job stream used by this crate's tests: job 0 has a shuffle-map
+/// stage feeding a result stage; job 1 is a single result stage. One
+/// internal stage rides along, plus an eviction, a re-run, and a fault.
+#[cfg(test)]
+pub(crate) fn sample_stream() -> Vec<EngineEvent> {
+    tests::sample_stream_impl()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(super) fn sample_stream_impl() -> Vec<EngineEvent> {
+        fn task(partition: usize, runtime: u64, hits: u64, misses: u64) -> TaskMetrics {
+            TaskMetrics {
+                partition,
+                wall_ns: runtime / 2,
+                virtual_compute_ns: runtime,
+                virtual_start_ns: 0,
+                virtual_finish_ns: runtime,
+                input_bytes: 100 * (partition as u64 + 1),
+                shuffle_write_bytes: 10,
+                cache_hits: hits,
+                cache_misses: misses,
+                ..TaskMetrics::default()
+            }
+        }
+        vec![
+            EngineEvent::JobStart {
+                job: 0,
+                virtual_now_ns: 0,
+            },
+            EngineEvent::StageSubmitted {
+                job: Some(0),
+                stage: 0,
+                kind: StageKind::ShuffleMap,
+                num_tasks: 2,
+            },
+            EngineEvent::TaskEnd {
+                stage: 0,
+                metrics: task(0, 4_000, 0, 2),
+            },
+            EngineEvent::TaskEnd {
+                stage: 0,
+                metrics: task(1, 9_000, 0, 2),
+            },
+            EngineEvent::StageCompleted {
+                job: Some(0),
+                stage: 0,
+                kind: StageKind::ShuffleMap,
+                makespan_ns: 10_000,
+                local_reads: 2,
+            },
+            EngineEvent::StageSubmitted {
+                job: Some(0),
+                stage: 1,
+                kind: StageKind::Result,
+                num_tasks: 2,
+            },
+            EngineEvent::TaskEnd {
+                stage: 1,
+                metrics: task(0, 3_000, 3, 0),
+            },
+            EngineEvent::TaskEnd {
+                stage: 1,
+                metrics: task(1, 2_000, 3, 0),
+            },
+            EngineEvent::StageCompleted {
+                job: Some(0),
+                stage: 1,
+                kind: StageKind::Result,
+                makespan_ns: 3_500,
+                local_reads: 0,
+            },
+            EngineEvent::JobEnd {
+                job: 0,
+                virtual_now_ns: 13_500,
+                virtual_advance_ns: 13_500,
+            },
+            EngineEvent::CacheEvicted {
+                op: 4,
+                partition: 0,
+                pressure: true,
+            },
+            EngineEvent::ShuffleMapRerun {
+                shuffle: 0,
+                map_part: 1,
+            },
+            EngineEvent::FaultInjected {
+                fault: FaultDetail::KillNode { node: 1 },
+            },
+            EngineEvent::JobStart {
+                job: 1,
+                virtual_now_ns: 13_500,
+            },
+            EngineEvent::StageSubmitted {
+                job: Some(1),
+                stage: 2,
+                kind: StageKind::Result,
+                num_tasks: 1,
+            },
+            EngineEvent::TaskEnd {
+                stage: 2,
+                metrics: task(0, 1_000, 1, 1),
+            },
+            EngineEvent::StageCompleted {
+                job: Some(1),
+                stage: 2,
+                kind: StageKind::Result,
+                makespan_ns: 1_000,
+                local_reads: 1,
+            },
+            EngineEvent::JobEnd {
+                job: 1,
+                virtual_now_ns: 14_500,
+                virtual_advance_ns: 1_000,
+            },
+            EngineEvent::StageSubmitted {
+                job: None,
+                stage: 3,
+                kind: StageKind::Result,
+                num_tasks: 1,
+            },
+            EngineEvent::StageCompleted {
+                job: None,
+                stage: 3,
+                kind: StageKind::Result,
+                makespan_ns: 7,
+                local_reads: 0,
+            },
+        ]
+    }
+
+    #[test]
+    fn trace_reassembles_jobs_stages_tasks() {
+        let trace = ExecutionTrace::from_events(&sample_stream());
+        assert_eq!(trace.jobs.len(), 2);
+        assert_eq!(trace.stages.len(), 4);
+        assert_eq!(trace.total_tasks(), 5);
+        assert_eq!(trace.jobs[0].stages, vec![0, 1]);
+        assert_eq!(trace.jobs[0].virtual_advance_ns, 13_500);
+        assert_eq!(trace.jobs[1].virtual_end_ns, Some(14_500));
+        assert_eq!(trace.total_virtual_ns(), 14_500);
+        assert_eq!(trace.evictions_pressure, 1);
+        assert_eq!(trace.shuffle_map_reruns, 1);
+        assert_eq!(trace.faults.len(), 1);
+
+        let s0 = trace.stage(0).unwrap();
+        assert_eq!(s0.kind, Some(StageKind::ShuffleMap));
+        assert_eq!(s0.critical_task().unwrap().partition, 1);
+        assert_eq!(s0.total_task_ns(), 13_000);
+        assert_eq!(s0.cache_misses(), 4);
+        // The internal stage belongs to no job.
+        assert_eq!(trace.stage(3).unwrap().job, None);
+        assert_eq!(trace.job_stages(0).len(), 2);
+    }
+
+    #[test]
+    fn trace_round_trips_through_jsonl() {
+        let events = sample_stream();
+        let text: String = events
+            .iter()
+            .map(|e| format!("{}\n", e.to_json()))
+            .collect();
+        let trace = ExecutionTrace::parse(&text).unwrap();
+        assert_eq!(trace.total_tasks(), 5);
+        assert_eq!(trace.jobs.len(), 2);
+        assert!(ExecutionTrace::parse("not json\n").is_err());
+    }
+
+    #[test]
+    fn truncated_log_leaves_job_open() {
+        let mut events = sample_stream();
+        events.truncate(9); // cut before job 0's JobEnd
+        let trace = ExecutionTrace::from_events(&events);
+        assert_eq!(trace.jobs[0].virtual_end_ns, None);
+        assert_eq!(trace.jobs[0].virtual_advance_ns, 0);
+    }
+}

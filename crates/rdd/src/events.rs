@@ -33,6 +33,8 @@ use std::sync::Arc;
 use parking_lot::{Mutex, RwLock};
 use serde_json::Value;
 
+use crate::metrics::{Counter, Gauge, Histogram, Registry};
+
 /// What a stage computes: the job's result partitions, or shuffle map
 /// outputs feeding a downstream stage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -448,6 +450,12 @@ impl EngineEvent {
 /// thread-safe.
 pub trait EventListener: Send + Sync {
     fn on_event(&self, event: &EngineEvent);
+
+    /// Flush any buffered output. Called by [`EventBus::flush_all`] and
+    /// when the bus itself is dropped (engine shutdown), so listeners
+    /// that buffer — like [`EventLogListener`] — never lose the tail of a
+    /// run even if the program keeps the listener alive past the engine.
+    fn on_flush(&self) {}
 }
 
 /// Fan-out point between the engine and its listeners.
@@ -512,6 +520,21 @@ impl EventBus {
             l.on_event(&event);
         }
     }
+
+    /// Ask every listener to flush buffered output.
+    pub fn flush_all(&self) {
+        for l in self.listeners.read().iter() {
+            l.on_flush();
+        }
+    }
+}
+
+/// Engine shutdown flushes every listener: a buffered event log is
+/// complete once the engine is gone, whoever still holds the listener.
+impl Drop for EventBus {
+    fn drop(&mut self) {
+        self.flush_all();
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -554,6 +577,10 @@ impl EventListener for EventLogListener {
         let mut out = self.out.lock();
         // An unwritable log must not take down the computation it observes.
         let _ = writeln!(out, "{line}");
+    }
+
+    fn on_flush(&self) {
+        let _ = self.flush();
     }
 }
 
@@ -842,6 +869,159 @@ impl EventListener for MemoryEventListener {
     }
 }
 
+/// Feeds a live [`Registry`] from the event stream: aggregate counters,
+/// in-flight gauges, and task-runtime histograms a long-running engine
+/// can expose (Prometheus text format via
+/// [`RegistryListener::render_prometheus`]) without replaying event logs.
+///
+/// Every update is a handful of relaxed atomic increments; the registry
+/// lock is only taken at construction and rendering time.
+pub struct RegistryListener {
+    registry: Arc<Registry>,
+    jobs_started: Arc<Counter>,
+    jobs_completed: Arc<Counter>,
+    stages_completed: Arc<Counter>,
+    tasks_completed: Arc<Counter>,
+    input_bytes: Arc<Counter>,
+    input_local_reads: Arc<Counter>,
+    shuffle_read_bytes: Arc<Counter>,
+    shuffle_write_bytes: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    cache_evictions_pressure: Arc<Counter>,
+    cache_evictions_other: Arc<Counter>,
+    recomputed_partitions: Arc<Counter>,
+    shuffle_map_reruns: Arc<Counter>,
+    faults_injected: Arc<Counter>,
+    running_jobs: Arc<Gauge>,
+    virtual_clock_ns: Arc<Gauge>,
+    task_virtual_ns: Arc<Histogram>,
+    task_wall_ns: Arc<Histogram>,
+}
+
+impl RegistryListener {
+    /// Listener over its own fresh registry.
+    pub fn new() -> Self {
+        Self::with_registry(Arc::new(Registry::new()))
+    }
+
+    /// Listener over a shared registry (e.g. one scraped by an exporter
+    /// that also carries application metrics).
+    pub fn with_registry(registry: Arc<Registry>) -> Self {
+        let c = |name: &str, help: &str| registry.counter(name, help);
+        let bounds = Histogram::duration_ns_bounds();
+        RegistryListener {
+            jobs_started: c("sparkscore_jobs_started_total", "Jobs submitted"),
+            jobs_completed: c("sparkscore_jobs_completed_total", "Jobs finished"),
+            stages_completed: c("sparkscore_stages_completed_total", "Stages finished"),
+            tasks_completed: c("sparkscore_tasks_completed_total", "Tasks finished"),
+            input_bytes: c("sparkscore_input_bytes_total", "Input bytes read by tasks"),
+            input_local_reads: c(
+                "sparkscore_input_local_reads_total",
+                "Tasks whose input was read from a local replica",
+            ),
+            shuffle_read_bytes: c("sparkscore_shuffle_read_bytes_total", "Shuffle bytes read"),
+            shuffle_write_bytes: c(
+                "sparkscore_shuffle_write_bytes_total",
+                "Shuffle bytes written",
+            ),
+            cache_hits: c("sparkscore_cache_hits_total", "Block cache hits"),
+            cache_misses: c("sparkscore_cache_misses_total", "Block cache misses"),
+            cache_evictions_pressure: c(
+                "sparkscore_cache_evictions_pressure_total",
+                "Cached blocks evicted under LRU pressure",
+            ),
+            cache_evictions_other: c(
+                "sparkscore_cache_evictions_other_total",
+                "Cached blocks dropped by faults or unpersist",
+            ),
+            recomputed_partitions: c(
+                "sparkscore_recomputed_partitions_total",
+                "Previously-cached partitions recomputed from lineage",
+            ),
+            shuffle_map_reruns: c(
+                "sparkscore_shuffle_map_reruns_total",
+                "Lost shuffle map outputs re-run from lineage",
+            ),
+            faults_injected: c("sparkscore_faults_injected_total", "Fault plan firings"),
+            running_jobs: registry.gauge("sparkscore_running_jobs", "Jobs currently in flight"),
+            virtual_clock_ns: registry.gauge(
+                "sparkscore_virtual_clock_ns",
+                "Virtual cluster clock at the last job boundary",
+            ),
+            task_virtual_ns: registry.histogram(
+                "sparkscore_task_virtual_runtime_ns",
+                "Per-task virtual runtime",
+                bounds.clone(),
+            ),
+            task_wall_ns: registry.histogram(
+                "sparkscore_task_wall_runtime_ns",
+                "Per-task host wall runtime",
+                bounds,
+            ),
+            registry,
+        }
+    }
+
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Prometheus text exposition of the whole registry.
+    pub fn render_prometheus(&self) -> String {
+        self.registry.render_prometheus()
+    }
+}
+
+impl Default for RegistryListener {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EventListener for RegistryListener {
+    fn on_event(&self, event: &EngineEvent) {
+        match event {
+            EngineEvent::JobStart { virtual_now_ns, .. } => {
+                self.jobs_started.inc();
+                self.running_jobs.add(1);
+                self.virtual_clock_ns.set(*virtual_now_ns as i64);
+            }
+            EngineEvent::JobEnd { virtual_now_ns, .. } => {
+                self.jobs_completed.inc();
+                self.running_jobs.add(-1);
+                self.virtual_clock_ns.set(*virtual_now_ns as i64);
+            }
+            EngineEvent::StageSubmitted { .. } | EngineEvent::TaskStart { .. } => {}
+            EngineEvent::StageCompleted { .. } => self.stages_completed.inc(),
+            EngineEvent::TaskEnd { metrics, .. } => {
+                self.tasks_completed.inc();
+                self.input_bytes.add(metrics.input_bytes);
+                if metrics.input_local {
+                    self.input_local_reads.inc();
+                }
+                self.shuffle_read_bytes.add(metrics.shuffle_read_bytes);
+                self.shuffle_write_bytes.add(metrics.shuffle_write_bytes);
+                self.cache_hits.add(metrics.cache_hits);
+                self.cache_misses.add(metrics.cache_misses);
+                self.recomputed_partitions
+                    .add(metrics.recomputed_partitions);
+                self.task_virtual_ns.observe(metrics.virtual_runtime_ns());
+                self.task_wall_ns.observe(metrics.wall_ns);
+            }
+            EngineEvent::CacheEvicted { pressure, .. } => {
+                if *pressure {
+                    self.cache_evictions_pressure.inc();
+                } else {
+                    self.cache_evictions_other.inc();
+                }
+            }
+            EngineEvent::ShuffleMapRerun { .. } => self.shuffle_map_reruns.inc(),
+            EngineEvent::FaultInjected { .. } => self.faults_injected.inc(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1024,5 +1204,142 @@ mod tests {
         assert_eq!(fmt_bytes(0), "0B");
         assert_eq!(fmt_bytes(2048), "2.0KiB");
         assert_eq!(fmt_bytes(3 * 1024 * 1024), "3.0MiB");
+    }
+
+    #[test]
+    fn fmt_ns_boundaries() {
+        assert_eq!(fmt_ns(0), "0µs");
+        assert_eq!(fmt_ns(999), "1µs"); // rounds to the µs
+                                        // Exact unit thresholds.
+        assert_eq!(fmt_ns(1_000_000), "1.00ms");
+        assert_eq!(fmt_ns(999_999), "1000µs"); // just under the ms threshold
+        assert_eq!(fmt_ns(1_000_000_000), "1.00s");
+        assert_eq!(fmt_ns(100_000_000_000), "100s");
+        assert_eq!(fmt_ns(99_999_999_999), "100.00s"); // just under 100 s
+        assert_eq!(fmt_ns(u64::MAX), "18446744074s");
+    }
+
+    #[test]
+    fn fmt_bytes_boundaries() {
+        assert_eq!(fmt_bytes(1023), "1023B");
+        assert_eq!(fmt_bytes(1024), "1.0KiB");
+        assert_eq!(fmt_bytes(1024 * 1024 - 1), "1024.0KiB");
+        assert_eq!(fmt_bytes(1024 * 1024), "1.0MiB");
+        assert_eq!(fmt_bytes(1024 * 1024 * 1024 - 1), "1024.0MiB");
+        assert_eq!(fmt_bytes(1024 * 1024 * 1024), "1.00GiB");
+        assert_eq!(fmt_bytes(u64::MAX), "17179869184.00GiB");
+    }
+
+    #[test]
+    fn cache_hit_rate_with_zero_lookups_is_none() {
+        let s = StageSummary::default();
+        assert_eq!(s.cache_hit_rate(), None);
+        let hits_only = StageSummary {
+            cache_hits: 3,
+            ..StageSummary::default()
+        };
+        assert_eq!(hits_only.cache_hit_rate(), Some(1.0));
+        let misses_only = StageSummary {
+            cache_misses: 2,
+            ..StageSummary::default()
+        };
+        assert_eq!(misses_only.cache_hit_rate(), Some(0.0));
+    }
+
+    /// A writer whose output is only visible in the shared buffer after a
+    /// flush — the buffered-file shape that loses the tail of a run if
+    /// nothing flushes it.
+    struct BufferedSharedWriter {
+        pending: Vec<u8>,
+        flushed: Arc<Mutex<Vec<u8>>>,
+    }
+
+    impl Write for BufferedSharedWriter {
+        fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+            self.pending.extend_from_slice(data);
+            Ok(data.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            self.flushed.lock().extend_from_slice(&self.pending);
+            self.pending.clear();
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn event_log_flushes_on_listener_drop() {
+        let flushed = Arc::new(Mutex::new(Vec::new()));
+        let listener = EventLogListener::new(BufferedSharedWriter {
+            pending: Vec::new(),
+            flushed: Arc::clone(&flushed),
+        });
+        for e in sample_events() {
+            listener.on_event(&e);
+        }
+        assert!(flushed.lock().is_empty(), "nothing flushed mid-run");
+        drop(listener);
+        let text = String::from_utf8(flushed.lock().clone()).unwrap();
+        assert_eq!(
+            parse_event_log(&text).unwrap(),
+            sample_events(),
+            "drop must flush the full buffered tail"
+        );
+    }
+
+    #[test]
+    fn event_log_flushes_on_bus_drop() {
+        // The program keeps the listener alive past the bus (engine
+        // shutdown): dropping the bus must still flush the tail.
+        let flushed = Arc::new(Mutex::new(Vec::new()));
+        let listener = Arc::new(EventLogListener::new(BufferedSharedWriter {
+            pending: Vec::new(),
+            flushed: Arc::clone(&flushed),
+        }));
+        let bus = EventBus::new();
+        bus.register(Arc::clone(&listener) as Arc<dyn EventListener>);
+        for e in sample_events() {
+            bus.emit(&e);
+        }
+        assert!(flushed.lock().is_empty(), "nothing flushed mid-run");
+        drop(bus);
+        let text = String::from_utf8(flushed.lock().clone()).unwrap();
+        assert_eq!(parse_event_log(&text).unwrap(), sample_events());
+        drop(listener); // the second flush on listener drop is harmless
+    }
+
+    #[test]
+    fn registry_listener_aggregates_stream() {
+        let listener = RegistryListener::new();
+        for e in sample_events() {
+            listener.on_event(&e);
+        }
+        let text = listener.render_prometheus();
+        assert!(text.contains("sparkscore_jobs_started_total 1"), "{text}");
+        assert!(text.contains("sparkscore_jobs_completed_total 1"), "{text}");
+        assert!(text.contains("sparkscore_running_jobs 0"), "{text}");
+        assert!(
+            text.contains("sparkscore_tasks_completed_total 1"),
+            "{text}"
+        );
+        assert!(text.contains("sparkscore_cache_hits_total 1"), "{text}");
+        assert!(
+            text.contains("sparkscore_cache_evictions_pressure_total 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("sparkscore_faults_injected_total 3"),
+            "{text}"
+        );
+        assert!(text.contains("sparkscore_virtual_clock_ns 10099"), "{text}");
+        // The single task (virtual runtime 9_999 ns) lands in the 10 µs
+        // bucket of the runtime histogram.
+        assert!(
+            text.contains("sparkscore_task_virtual_runtime_ns_bucket{le=\"10000\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("sparkscore_task_virtual_runtime_ns_sum 9999"),
+            "{text}"
+        );
     }
 }

@@ -56,9 +56,9 @@ pub use engine::{Broadcast, Engine, EngineBuilder};
 pub use estimate::EstimateSize;
 pub use events::{
     ConsoleProgressListener, EngineEvent, EventBus, EventListener, EventLogListener, FaultDetail,
-    MemoryEventListener, StageKind, StageSummaryListener, TaskMetrics,
+    MemoryEventListener, RegistryListener, StageKind, StageSummaryListener, TaskMetrics,
 };
-pub use metrics::MetricsSnapshot;
+pub use metrics::{Counter, Gauge, Histogram, MetricsSnapshot, Registry};
 pub use ops::shuffled::Aggregator;
 pub use ops::Data;
 

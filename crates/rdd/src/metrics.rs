@@ -1,13 +1,26 @@
 //! Engine execution metrics.
 //!
-//! Counters the tests and benchmark harnesses assert on: cache behaviour
-//! (hits prove Algorithm 3's reuse of the `U` RDD), recomputation (proves
-//! lineage recovery actually ran), shuffle volumes, and task/stage/job
-//! counts. All counters are relaxed atomics — they are statistics, not
+//! Two layers live here:
+//!
+//! * [`Metrics`]/[`MetricsSnapshot`] — the engine's own counters, which
+//!   the tests and benchmark harnesses assert on: cache behaviour (hits
+//!   prove Algorithm 3's reuse of the `U` RDD), recomputation (proves
+//!   lineage recovery actually ran), shuffle volumes, and
+//!   task/stage/job counts.
+//! * [`Registry`] — a general named-metric registry (counters, gauges,
+//!   histograms) with Prometheus text exposition, fed from the event bus
+//!   by [`crate::events::RegistryListener`], so a long-running engine can
+//!   expose aggregate health without replaying event logs.
+//!
+//! All counters are relaxed atomics — they are statistics, not
 //! synchronization.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
 
+use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 
 /// Live counters owned by the engine.
@@ -148,6 +161,237 @@ impl std::fmt::Display for MetricsSnapshot {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Live metrics registry
+// ---------------------------------------------------------------------------
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can go up and down (queue depths, clocks, in-flight jobs).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, d: i64) {
+        self.value.fetch_add(d, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram of `u64` observations (cumulative buckets in
+/// the exposition, Prometheus-style). Observation is lock-free: one
+/// relaxed increment per bucket/sum/count.
+#[derive(Debug)]
+pub struct Histogram {
+    /// Inclusive upper bounds, strictly increasing; an implicit `+Inf`
+    /// bucket follows the last.
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// Default bounds for nanosecond durations: 1 µs … 100 s, decades.
+    pub fn duration_ns_bounds() -> Vec<u64> {
+        (3..12).map(|p| 10u64.pow(p)).collect()
+    }
+
+    fn new(bounds: Vec<u64>) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds,
+            buckets,
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    pub fn observe(&self, v: u64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn type_str(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A named-metric registry with Prometheus text exposition.
+///
+/// Metric handles are `Arc`s: the instrumented code path holds the handle
+/// and updates it lock-free; the registry only takes its lock on
+/// registration and rendering. Names render in lexicographic order, so
+/// [`Registry::render_prometheus`] is deterministic for a fixed state.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: RwLock<BTreeMap<String, (String, Metric)>>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn get_or_insert<T>(
+        &self,
+        name: &str,
+        help: &str,
+        make: impl FnOnce() -> Metric,
+        pick: impl Fn(&Metric) -> Option<Arc<T>>,
+    ) -> Arc<T> {
+        let mut metrics = self.metrics.write();
+        let (_, metric) = metrics
+            .entry(name.to_string())
+            .or_insert_with(|| (help.to_string(), make()));
+        pick(metric).unwrap_or_else(|| {
+            panic!(
+                "metric {name:?} already registered as a {}",
+                metric.type_str()
+            )
+        })
+    }
+
+    /// Get or create a counter. Panics if `name` exists with another type.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.get_or_insert(
+            name,
+            help,
+            || Metric::Counter(Arc::new(Counter::default())),
+            |m| match m {
+                Metric::Counter(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Get or create a gauge. Panics if `name` exists with another type.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.get_or_insert(
+            name,
+            help,
+            || Metric::Gauge(Arc::new(Gauge::default())),
+            |m| match m {
+                Metric::Gauge(g) => Some(Arc::clone(g)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Get or create a histogram with the given bucket upper bounds.
+    /// Panics if `name` exists with another type. If it already exists as
+    /// a histogram, the existing bounds win.
+    pub fn histogram(&self, name: &str, help: &str, bounds: Vec<u64>) -> Arc<Histogram> {
+        self.get_or_insert(
+            name,
+            help,
+            || Metric::Histogram(Arc::new(Histogram::new(bounds))),
+            |m| match m {
+                Metric::Histogram(h) => Some(Arc::clone(h)),
+                _ => None,
+            },
+        )
+    }
+
+    pub fn len(&self) -> usize {
+        self.metrics.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.metrics.read().is_empty()
+    }
+
+    /// Render every metric in the Prometheus text exposition format
+    /// (`# HELP` / `# TYPE` headers, cumulative histogram buckets with an
+    /// `+Inf` bound, `_sum` and `_count` series).
+    pub fn render_prometheus(&self) -> String {
+        let metrics = self.metrics.read();
+        let mut out = String::new();
+        for (name, (help, metric)) in metrics.iter() {
+            if !help.is_empty() {
+                let _ = writeln!(out, "# HELP {name} {help}");
+            }
+            let _ = writeln!(out, "# TYPE {name} {}", metric.type_str());
+            match metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "{name} {}", c.get());
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "{name} {}", g.get());
+                }
+                Metric::Histogram(h) => {
+                    let mut cumulative = 0u64;
+                    for (bound, bucket) in h.bounds.iter().zip(&h.buckets) {
+                        cumulative += bucket.load(Ordering::Relaxed);
+                        let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+                    }
+                    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count());
+                    let _ = writeln!(out, "{name}_sum {}", h.sum());
+                    let _ = writeln!(out, "{name}_count {}", h.count());
+                }
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,6 +441,72 @@ mod tests {
         assert!(line.contains("jobs=1"));
         assert!(line.contains("tasks=9"));
         assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn registry_handles_are_shared() {
+        let reg = Registry::new();
+        let a = reg.counter("sparkscore_tasks_total", "tasks");
+        let b = reg.counter("sparkscore_tasks_total", "ignored duplicate help");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3, "same name must return the same counter");
+        assert_eq!(reg.len(), 1);
+        let g = reg.gauge("sparkscore_running_jobs", "in-flight");
+        g.add(2);
+        g.add(-1);
+        assert_eq!(g.get(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered as a counter")]
+    fn registry_rejects_type_confusion() {
+        let reg = Registry::new();
+        reg.counter("x", "");
+        reg.gauge("x", "");
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_in_exposition() {
+        let reg = Registry::new();
+        let h = reg.histogram("h_ns", "latency", vec![10, 100, 1000]);
+        for v in [5, 10, 11, 100, 5000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 5126);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE h_ns histogram"), "{text}");
+        assert!(text.contains("h_ns_bucket{le=\"10\"} 2"), "{text}");
+        assert!(text.contains("h_ns_bucket{le=\"100\"} 4"), "{text}");
+        assert!(text.contains("h_ns_bucket{le=\"1000\"} 4"), "{text}");
+        assert!(text.contains("h_ns_bucket{le=\"+Inf\"} 5"), "{text}");
+        assert!(text.contains("h_ns_sum 5126"), "{text}");
+        assert!(text.contains("h_ns_count 5"), "{text}");
+    }
+
+    #[test]
+    fn render_is_sorted_and_deterministic() {
+        let reg = Registry::new();
+        reg.counter("z_total", "last");
+        reg.counter("a_total", "first");
+        reg.gauge("m_gauge", "middle");
+        let text = reg.render_prometheus();
+        let a = text.find("a_total").unwrap();
+        let m = text.find("m_gauge").unwrap();
+        let z = text.find("z_total").unwrap();
+        assert!(a < m && m < z, "lexicographic order: {text}");
+        assert_eq!(text, reg.render_prometheus());
+        assert!(text.contains("# HELP a_total first"), "{text}");
+        assert!(text.contains("# TYPE m_gauge gauge"), "{text}");
+    }
+
+    #[test]
+    fn duration_bounds_are_increasing_decades() {
+        let bounds = Histogram::duration_ns_bounds();
+        assert_eq!(bounds.first(), Some(&1_000));
+        assert_eq!(bounds.last(), Some(&100_000_000_000));
+        assert!(bounds.windows(2).all(|w| w[1] == w[0] * 10));
     }
 
     #[test]

@@ -204,6 +204,177 @@ fn stage_summary_totals_match_engine_metrics() {
     assert!(report.contains("Result"), "{report}");
 }
 
+/// One instance of every `EngineEvent` variant (and every `FaultDetail`
+/// kind), with field values chosen to stress integer width and optional
+/// fields.
+fn every_event_variant() -> Vec<EngineEvent> {
+    use sparkscore_rdd::{StageKind, TaskMetrics};
+    vec![
+        EngineEvent::JobStart {
+            job: u64::MAX,
+            virtual_now_ns: 0,
+        },
+        EngineEvent::JobEnd {
+            job: u64::MAX,
+            virtual_now_ns: u64::MAX,
+            virtual_advance_ns: u64::MAX - 1,
+        },
+        EngineEvent::StageSubmitted {
+            job: None,
+            stage: 0,
+            kind: StageKind::ShuffleMap,
+            num_tasks: 0,
+        },
+        EngineEvent::StageSubmitted {
+            job: Some(3),
+            stage: 1,
+            kind: StageKind::Result,
+            num_tasks: usize::MAX >> 1,
+        },
+        EngineEvent::StageCompleted {
+            job: Some(3),
+            stage: 1,
+            kind: StageKind::Result,
+            makespan_ns: u64::MAX,
+            local_reads: 7,
+        },
+        EngineEvent::StageCompleted {
+            job: None,
+            stage: 0,
+            kind: StageKind::ShuffleMap,
+            makespan_ns: 0,
+            local_reads: 0,
+        },
+        EngineEvent::TaskStart {
+            stage: 9,
+            partition: 0,
+        },
+        EngineEvent::TaskEnd {
+            stage: 9,
+            metrics: TaskMetrics {
+                partition: 31,
+                wall_ns: u64::MAX,
+                virtual_compute_ns: 1,
+                virtual_start_ns: 2,
+                virtual_finish_ns: 3,
+                node: u64::MAX,
+                executor: u32::MAX,
+                input_local: true,
+                input_bytes: 4,
+                shuffle_read_bytes: 5,
+                shuffle_write_bytes: 6,
+                cache_hits: 7,
+                cache_misses: 8,
+                recomputed_partitions: 9,
+            },
+        },
+        EngineEvent::TaskEnd {
+            stage: 9,
+            metrics: TaskMetrics::default(),
+        },
+        EngineEvent::CacheEvicted {
+            op: 1,
+            partition: 2,
+            pressure: true,
+        },
+        EngineEvent::CacheEvicted {
+            op: u64::MAX,
+            partition: 0,
+            pressure: false,
+        },
+        EngineEvent::ShuffleMapRerun {
+            shuffle: u64::MAX,
+            map_part: 17,
+        },
+        EngineEvent::FaultInjected {
+            fault: FaultDetail::KillNode { node: u64::MAX },
+        },
+        EngineEvent::FaultInjected {
+            fault: FaultDetail::DropCachedBlock {
+                op: u64::MAX,
+                partition: 1,
+            },
+        },
+        EngineEvent::FaultInjected {
+            fault: FaultDetail::DropShuffleOutput {
+                shuffle: 0,
+                map_part: usize::MAX >> 1,
+            },
+        },
+    ]
+}
+
+#[test]
+fn every_event_variant_round_trips_through_jsonl() {
+    let events = every_event_variant();
+    // The sample must cover the full variant space: if a new event is
+    // added, `name()` here won't list it and this assertion will flag the
+    // missing round-trip coverage.
+    let names: std::collections::BTreeSet<&str> = events.iter().map(|e| e.name()).collect();
+    let expected: std::collections::BTreeSet<&str> = [
+        "JobStart",
+        "JobEnd",
+        "StageSubmitted",
+        "StageCompleted",
+        "TaskStart",
+        "TaskEnd",
+        "CacheEvicted",
+        "ShuffleMapRerun",
+        "FaultInjected",
+    ]
+    .into_iter()
+    .collect();
+    assert_eq!(names, expected, "sample covers every event variant");
+
+    // Per-event object round trip.
+    for event in &events {
+        let back = EngineEvent::from_json(&event.to_json())
+            .unwrap_or_else(|e| panic!("{} failed to re-parse: {e}", event.name()));
+        assert_eq!(&back, event, "round-trip for {}", event.name());
+    }
+
+    // Whole-log text round trip (the shape `trace` consumes).
+    let text: String = events
+        .iter()
+        .map(|e| format!("{}\n", e.to_json()))
+        .collect();
+    assert_eq!(parse_event_log(&text).unwrap(), events);
+}
+
+#[test]
+fn parse_event_log_rejects_malformed_lines() {
+    let good = r#"{"Event":"JobStart","job":1,"virtual_now_ns":0}"#;
+    // A good line does parse on its own (control).
+    assert_eq!(parse_event_log(good).unwrap().len(), 1);
+    // Blank and whitespace-only lines are skipped.
+    assert_eq!(
+        parse_event_log(&format!("\n  \n{good}\n\n")).unwrap().len(),
+        1
+    );
+
+    let bad_lines = [
+        "not json at all",
+        "{\"Event\":\"JobStart\",\"job\":1,",          // truncated JSON
+        "{\"job\":1}",                                 // missing discriminator
+        "{\"Event\":\"NoSuchEvent\",\"job\":1}",       // unknown event
+        "{\"Event\":42}",                              // discriminator not a string
+        "{\"Event\":\"JobStart\",\"job\":\"one\",\"virtual_now_ns\":0}", // wrong field type
+        "{\"Event\":\"JobStart\",\"virtual_now_ns\":0}", // missing field
+        "{\"Event\":\"JobStart\",\"job\":-1,\"virtual_now_ns\":0}", // negative u64
+        "{\"Event\":\"StageSubmitted\",\"job\":null,\"stage\":0,\"kind\":\"Sideways\",\"num_tasks\":1}", // bad kind
+        "{\"Event\":\"FaultInjected\",\"fault\":{\"kind\":\"Gremlin\"}}", // bad fault kind
+    ];
+    for bad in bad_lines {
+        // A malformed line poisons the parse even when surrounded by
+        // valid events — truncated or corrupt logs fail loudly.
+        let log = format!("{good}\n{bad}\n{good}\n");
+        assert!(
+            parse_event_log(&log).is_err(),
+            "line {bad:?} should fail to parse"
+        );
+    }
+}
+
 #[test]
 fn unobserved_engine_emits_nothing_and_stays_correct() {
     let engine = Engine::builder(ClusterSpec::test_small(3))

@@ -94,6 +94,23 @@ fn main() {
         "the event stream must show recomputation"
     );
 
+    // The same captured stream, analyzed: where the recovery time went
+    // (critical path) and what the cache still bought despite the faults.
+    let trace = sparkscore_obs::ExecutionTrace::from_events(&events.snapshot());
+    let paths = sparkscore_obs::critical_paths(&trace);
+    if let Some(worst) = paths.iter().max_by_key(|p| (p.path_ns, p.job)) {
+        println!(
+            "\nslowest job during recovery: job {} ({} stages, critical path {})",
+            worst.job,
+            worst.stages.len(),
+            sparkscore_rdd::events::fmt_ns(worst.path_ns),
+        );
+    }
+    println!(
+        "{}",
+        sparkscore_obs::cache_roi_line(&sparkscore_obs::cache_roi(&trace))
+    );
+
     // Verify: identical observed statistics and resampling counters.
     let mut max_rel = 0.0f64;
     for (a, b) in clean.observed.iter().zip(&faulty.observed) {

@@ -3,15 +3,29 @@
 //! simulated 6-node cluster, and print the most significant SNP-sets.
 //!
 //! Run with: `cargo run --release --example quickstart`
+//!
+//! Set `SPARKSCORE_EVENTS_DIR=<dir>` to also write a JSONL event log
+//! (`<dir>/quickstart.jsonl`) suitable for the `trace` analyzer:
+//! `cargo run -p sparkscore-obs --bin trace -- report <dir>/quickstart.jsonl`
+
+use std::sync::Arc;
 
 use sparkscore_cluster::ClusterSpec;
 use sparkscore_core::{AnalysisOptions, SparkScoreContext};
 use sparkscore_data::{GwasDataset, SyntheticConfig};
-use sparkscore_rdd::Engine;
+use sparkscore_rdd::{Engine, EventListener, EventLogListener};
 
 fn main() {
     // A 6-node cluster of the paper's m3.2xlarge instances (Table I).
-    let engine = Engine::builder(ClusterSpec::m3_2xlarge(6)).build();
+    let mut builder = Engine::builder(ClusterSpec::m3_2xlarge(6));
+    let mut log = None;
+    if let Some(dir) = std::env::var_os("SPARKSCORE_EVENTS_DIR") {
+        let path = std::path::PathBuf::from(dir).join("quickstart.jsonl");
+        let listener = Arc::new(EventLogListener::to_file(&path).expect("events dir writable"));
+        builder = builder.listener(Arc::clone(&listener) as Arc<dyn EventListener>);
+        log = Some((listener, path));
+    }
+    let engine = builder.build();
     println!(
         "cluster: {} nodes × {} ({} task slots)",
         engine.cluster().num_nodes(),
@@ -60,4 +74,9 @@ fn main() {
         run.metrics.cache_hits, run.metrics.cache_misses
     );
     println!("  tasks executed:       {}", run.metrics.tasks);
+
+    if let Some((listener, path)) = log {
+        listener.flush().expect("flush event log");
+        println!("  event log:            {}", path.display());
+    }
 }

@@ -19,4 +19,15 @@ cargo fmt --check
 echo "== cargo clippy --workspace -- -D warnings =="
 cargo clippy --workspace -- -D warnings
 
+echo "== trace smoke: quickstart event log -> trace report/dot =="
+events_dir="$(mktemp -d)"
+trap 'rm -rf "$events_dir"' EXIT
+SPARKSCORE_EVENTS_DIR="$events_dir" cargo run --release -p sparkscore-core --example quickstart > /dev/null
+log="$events_dir/quickstart.jsonl"
+[ -s "$log" ] || { echo "trace smoke: no event log at $log" >&2; exit 1; }
+report="$(cargo run --release -p sparkscore-obs --bin trace -- report "$log")"
+[ -n "$report" ] || { echo "trace smoke: empty report" >&2; exit 1; }
+dot="$(cargo run --release -p sparkscore-obs --bin trace -- dot "$log")"
+[ -n "$dot" ] || { echo "trace smoke: empty dot output" >&2; exit 1; }
+
 echo "CI gate passed."

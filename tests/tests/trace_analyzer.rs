@@ -1,0 +1,165 @@
+//! Acceptance tests for the trace analyzer against real SparkScore runs:
+//! the critical path reported for an experiment-C-style workload must
+//! match the engine's shuffle-dependency structure, the cache-ROI totals
+//! must equal the sums of the per-task `TaskMetrics` counters in the log,
+//! and a diff between the permutation (Algorithm 2) and cached-multiplier
+//! (Algorithm 3) pipelines must attribute strictly more cache ROI to the
+//! multiplier run.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use sparkscore_cluster::ClusterSpec;
+use sparkscore_core::{AnalysisOptions, SparkScoreContext};
+use sparkscore_data::{GwasDataset, SyntheticConfig};
+use sparkscore_obs::{cache_roi, critical_paths, diff_report, report, ExecutionTrace};
+use sparkscore_rdd::events::parse_event_log;
+use sparkscore_rdd::{Engine, EngineEvent, EventListener, EventLogListener, StageKind};
+
+fn log_path(name: &str) -> PathBuf {
+    std::env::temp_dir()
+        .join(format!("sparkscore-trace-accept-{}", std::process::id()))
+        .join(format!("{name}.jsonl"))
+}
+
+fn dataset() -> GwasDataset {
+    let mut cfg = SyntheticConfig::small(7);
+    cfg.patients = 50;
+    cfg.snps = 120;
+    cfg.snp_sets = 6;
+    GwasDataset::generate(&cfg)
+}
+
+/// Run `work` on a small observed cluster, flush, and return the raw log.
+fn logged_run(name: &str, cache_budget: Option<u64>, work: impl Fn(&SparkScoreContext)) -> String {
+    let path = log_path(name);
+    let log = Arc::new(EventLogListener::to_file(&path).expect("temp dir writable"));
+    let mut builder = Engine::builder(ClusterSpec::test_small(3))
+        .host_threads(4)
+        .listener(Arc::clone(&log) as Arc<dyn EventListener>);
+    if let Some(bytes) = cache_budget {
+        builder = builder.cache_budget_bytes(bytes);
+    }
+    let engine = builder.build();
+    let ctx = SparkScoreContext::from_memory(engine, &dataset(), 6, AnalysisOptions::default());
+    work(&ctx);
+    log.flush().expect("flush event log");
+    std::fs::read_to_string(&path).expect("log written")
+}
+
+#[test]
+fn critical_path_matches_shuffle_structure_and_roi_matches_task_sums() {
+    // Experiment-C style: a cache-constrained Monte Carlo run (the strong
+    // scaling workload), so hits, misses, and evictions all appear.
+    let text = logged_run("experiment_c_style", Some(64 * 1024), |ctx| {
+        let run = ctx.monte_carlo(4, 11, true);
+        assert!(run.metrics.tasks > 0);
+    });
+    let trace = ExecutionTrace::parse(&text).expect("parse own log");
+
+    // Critical paths: each job's chain must mirror the engine's stage
+    // dependency structure — every parent shuffle-map stage before the
+    // final result stage, and the path length equal to the sum of the
+    // chain's stage makespans.
+    let paths = critical_paths(&trace);
+    assert!(!paths.is_empty(), "MC run produced jobs");
+    let mut saw_shuffle_chain = false;
+    for p in &paths {
+        assert!(!p.stages.is_empty(), "job {} has stages", p.job);
+        let (last, parents) = p.stages.split_last().unwrap();
+        assert_eq!(
+            last.kind,
+            Some(StageKind::Result),
+            "job {}'s path ends at its result stage",
+            p.job
+        );
+        for parent in parents {
+            assert_eq!(
+                parent.kind,
+                Some(StageKind::ShuffleMap),
+                "job {}'s upstream path stages are shuffle-map stages",
+                p.job
+            );
+        }
+        saw_shuffle_chain |= !parents.is_empty();
+        assert_eq!(
+            p.path_ns,
+            p.stages.iter().map(|s| s.makespan_ns).sum::<u64>()
+        );
+        assert!(
+            p.path_ns <= p.virtual_advance_ns,
+            "path cannot exceed the job's observed virtual advance"
+        );
+    }
+    assert!(
+        saw_shuffle_chain,
+        "the scoring pipeline shuffles, so some path must cross a shuffle dependency"
+    );
+
+    // Cache ROI: totals must be exactly the sums of the per-task counters
+    // in the log, summed here independently from the raw events.
+    let (mut hits, mut misses, mut recomputed) = (0u64, 0u64, 0u64);
+    for event in parse_event_log(&text).expect("parse raw events") {
+        if let EngineEvent::TaskEnd { metrics, .. } = event {
+            hits += metrics.cache_hits;
+            misses += metrics.cache_misses;
+            recomputed += metrics.recomputed_partitions;
+        }
+    }
+    let roi = cache_roi(&trace);
+    assert_eq!(
+        (roi.hits, roi.misses, roi.recomputed),
+        (hits, misses, recomputed)
+    );
+    assert!(roi.hits > 0, "cached multiplier run must hit the cache");
+    assert!(
+        roi.misses > 0,
+        "a 64 KiB budget must force misses in this workload"
+    );
+
+    // And the rendered report must carry the same numbers and structure.
+    let rendered = report(&trace);
+    assert!(rendered.contains("== critical paths =="), "{rendered}");
+    assert!(rendered.contains("[ShuffleMap] -> "), "{rendered}");
+    assert!(
+        rendered.contains(&format!("cache ROI: hits={hits} misses={misses}")),
+        "{rendered}"
+    );
+}
+
+#[test]
+fn multiplier_run_shows_strictly_higher_cache_roi_than_permutation() {
+    // Algorithm 2 (permutation: no reusable intermediate) vs Algorithm 3
+    // (Monte Carlo with the cached U RDD), same workload and iterations.
+    let perm = logged_run("alg2_permutation", None, |ctx| {
+        ctx.permutation(4, 21);
+    });
+    let mc = logged_run("alg3_multiplier", None, |ctx| {
+        ctx.monte_carlo(4, 21, true);
+    });
+    let perm_trace = ExecutionTrace::parse(&perm).unwrap();
+    let mc_trace = ExecutionTrace::parse(&mc).unwrap();
+
+    let perm_roi = cache_roi(&perm_trace);
+    let mc_roi = cache_roi(&mc_trace);
+    assert!(
+        mc_roi.hits > perm_roi.hits,
+        "multiplier must reuse the cached U RDD more: {mc_roi:?} vs {perm_roi:?}"
+    );
+    assert!(
+        mc_roi.est_saved_ns > perm_roi.est_saved_ns,
+        "multiplier must save strictly more virtual time: {mc_roi:?} vs {perm_roi:?}"
+    );
+
+    // The diff report must name the multiplier run as the cache winner.
+    let diff = diff_report(
+        "alg2-permutation",
+        &perm_trace,
+        "alg3-multiplier",
+        &mc_trace,
+    );
+    assert!(
+        diff.contains("alg3-multiplier saves an estimated"),
+        "{diff}"
+    );
+}
