@@ -1,0 +1,192 @@
+//! Engine hot-path microbenchmark: the fixed overheads that dominate the
+//! paper's many-tiny-stage regime (Algorithms 2 and 3 run B resampling
+//! iterations, each a full job over a cached dataset).
+//!
+//! Three sections, all host wall-clock:
+//!
+//! * **tiny stages** — B one-task jobs on a cached single-partition
+//!   dataset (the resampling iteration shape), against a spawn-per-stage
+//!   baseline that replicates the seed engine's per-stage mechanics
+//!   (`std::thread::scope` spawn/join plus three `Mutex<Vec<Option<_>>>`
+//!   completion writes). The ratio is the PR's headline number.
+//! * **shuffle round-trip** — map + reduce over a fresh `reduce_by_key`
+//!   each round, exercising the sharded shuffle store's put/batch-get.
+//! * **cached scan** — repeated `count()` over a cached dataset, the
+//!   cache-hit fast path.
+//!
+//! Emits `BENCH_hotpath.json` (or `--out PATH`) and validates that the
+//! emitted file parses back, so CI catches a rotten harness immediately.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use sparkscore_cluster::ClusterSpec;
+use sparkscore_rdd::Engine;
+
+struct Options {
+    tiny_b: usize,
+    shuffle_rounds: usize,
+    scan_rounds: usize,
+    out: String,
+}
+
+impl Options {
+    fn from_args() -> Self {
+        let mut opts = Options {
+            tiny_b: 2000,
+            shuffle_rounds: 30,
+            scan_rounds: 300,
+            out: "BENCH_hotpath.json".to_string(),
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            let mut take = |name: &str| -> String {
+                args.next()
+                    .unwrap_or_else(|| panic!("{name} requires a value"))
+            };
+            match arg.as_str() {
+                "--tiny-b" => opts.tiny_b = take("--tiny-b").parse().expect("integer"),
+                "--shuffle-rounds" => {
+                    opts.shuffle_rounds = take("--shuffle-rounds").parse().expect("integer")
+                }
+                "--scan-rounds" => {
+                    opts.scan_rounds = take("--scan-rounds").parse().expect("integer")
+                }
+                "--out" => opts.out = take("--out"),
+                other => {
+                    eprintln!("unknown argument {other}");
+                    eprintln!(
+                        "usage: hotpath [--tiny-b N] [--shuffle-rounds N] [--scan-rounds N] [--out PATH]"
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        assert!(opts.tiny_b >= 1 && opts.shuffle_rounds >= 1 && opts.scan_rounds >= 1);
+        opts
+    }
+}
+
+/// The seed engine's per-stage mechanics, reproduced for comparison: one
+/// scoped OS thread spawned per stage (a one-task stage spawned exactly
+/// one), an atomic task cursor, and three global-mutex completion writes.
+fn spawn_per_stage_baseline(stages: usize) -> u64 {
+    let start = Instant::now();
+    for s in 0..stages {
+        let results: Mutex<Vec<Option<u64>>> = Mutex::new(vec![None]);
+        let vtasks: Mutex<Vec<Option<u64>>> = Mutex::new(vec![None]);
+        let partial: Mutex<Vec<Option<u64>>> = Mutex::new(vec![None]);
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= 1 {
+                    break;
+                }
+                let r = (s as u64).wrapping_mul(0x9e37_79b9);
+                partial.lock().unwrap()[i] = Some(r);
+                results.lock().unwrap()[i] = Some(r);
+                vtasks.lock().unwrap()[i] = Some(r ^ 1);
+            });
+        });
+        let out: Vec<u64> = results
+            .into_inner()
+            .unwrap()
+            .into_iter()
+            .map(|r| r.expect("task ran"))
+            .collect();
+        assert_eq!(out.len(), 1);
+        std::hint::black_box(out);
+    }
+    start.elapsed().as_nanos() as u64
+}
+
+fn main() {
+    let opts = Options::from_args();
+    let engine = Engine::builder(ClusterSpec::test_small(4)).build();
+
+    // ---- tiny one-task stages (the resampling iteration shape) ----
+    let tiny = engine.parallelize(vec![1u64; 64], 1).cache();
+    assert_eq!(tiny.count(), 64); // warm the cache + pool
+    let start = Instant::now();
+    for _ in 0..opts.tiny_b {
+        std::hint::black_box(tiny.count());
+    }
+    let engine_tiny_ns = start.elapsed().as_nanos() as u64;
+    let baseline_tiny_ns = spawn_per_stage_baseline(opts.tiny_b);
+    let engine_per_stage = engine_tiny_ns as f64 / opts.tiny_b as f64;
+    let baseline_per_stage = baseline_tiny_ns as f64 / opts.tiny_b as f64;
+    let speedup = baseline_per_stage / engine_per_stage;
+
+    // ---- shuffle round-trip (fresh map side each round) ----
+    let pairs: Vec<(u64, u64)> = (0..4096u64).map(|i| (i % 64, i)).collect();
+    let start = Instant::now();
+    for _ in 0..opts.shuffle_rounds {
+        let reduced = engine
+            .parallelize(pairs.clone(), 8)
+            .reduce_by_key(8, |a, b| a.wrapping_add(b));
+        std::hint::black_box(reduced.count());
+    }
+    let shuffle_ns = start.elapsed().as_nanos() as u64;
+
+    // ---- cached scan (cache-hit fast path) ----
+    let scan = engine
+        .parallelize((0..32_768u64).collect::<Vec<_>>(), 8)
+        .map(|x| x.wrapping_mul(3))
+        .cache();
+    assert_eq!(scan.count(), 32_768); // materialize the cache
+    let start = Instant::now();
+    for _ in 0..opts.scan_rounds {
+        std::hint::black_box(scan.count());
+    }
+    let scan_ns = start.elapsed().as_nanos() as u64;
+
+    let diag = engine.pool_diagnostics();
+    let json = serde_json::json!({
+        "bench": "hotpath",
+        "host_threads": engine.host_threads() as u64,
+        "pool_threads_spawned": diag.threads_spawned() as u64,
+        "tiny_stage": serde_json::json!({
+            "b": opts.tiny_b as u64,
+            "engine_total_ns": engine_tiny_ns,
+            "engine_per_stage_ns": engine_per_stage,
+            "spawn_baseline_total_ns": baseline_tiny_ns,
+            "spawn_baseline_per_stage_ns": baseline_per_stage,
+            "speedup_vs_spawn": speedup,
+        }),
+        "shuffle": serde_json::json!({
+            "rounds": opts.shuffle_rounds as u64,
+            "total_ns": shuffle_ns,
+            "per_round_ns": shuffle_ns as f64 / opts.shuffle_rounds as f64,
+        }),
+        "cached_scan": serde_json::json!({
+            "rounds": opts.scan_rounds as u64,
+            "total_ns": scan_ns,
+            "per_round_ns": scan_ns as f64 / opts.scan_rounds as f64,
+        }),
+    });
+    let text = serde_json::to_string_pretty(&json).expect("serialize bench report");
+    std::fs::write(&opts.out, &text).expect("write bench report");
+
+    // Self-validation: the emitted file must parse back as JSON.
+    let read_back = std::fs::read_to_string(&opts.out).expect("re-read bench report");
+    serde_json::from_str::<serde_json::Value>(&read_back).expect("bench report must parse");
+
+    println!(
+        "tiny stages: engine {:.1} us/stage vs spawn-per-stage {:.1} us/stage ({speedup:.1}x)",
+        engine_per_stage / 1e3,
+        baseline_per_stage / 1e3,
+    );
+    println!(
+        "shuffle round-trip: {:.1} us/round over {} rounds",
+        shuffle_ns as f64 / opts.shuffle_rounds as f64 / 1e3,
+        opts.shuffle_rounds,
+    );
+    println!(
+        "cached scan: {:.1} us/round over {} rounds",
+        scan_ns as f64 / opts.scan_rounds as f64 / 1e3,
+        opts.scan_rounds,
+    );
+    println!("wrote {}", opts.out);
+}

@@ -7,7 +7,10 @@
 //! which is the fault-tolerance property the paper inherits from Spark.
 
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 use crate::instance::InstanceType;
 
@@ -83,6 +86,11 @@ impl ClusterSpec {
 pub struct Cluster {
     spec: ClusterSpec,
     nodes: Vec<Node>,
+    /// Bumped after every liveness change; versions [`Cluster::alive_snapshot`].
+    liveness_epoch: AtomicU64,
+    /// Cached `(epoch, alive set)` so hot placement paths don't rebuild the
+    /// alive-node `Vec` on every call.
+    alive_cache: Mutex<(u64, Arc<Vec<NodeId>>)>,
 }
 
 impl Cluster {
@@ -97,7 +105,13 @@ impl Cluster {
                 alive: AtomicBool::new(true),
             })
             .collect();
-        Cluster { spec, nodes }
+        Cluster {
+            spec,
+            nodes,
+            liveness_epoch: AtomicU64::new(0),
+            // Sentinel epoch so the first snapshot call populates the cache.
+            alive_cache: Mutex::new((u64::MAX, Arc::new(Vec::new()))),
+        }
     }
 
     #[inline]
@@ -128,18 +142,38 @@ impl Cluster {
             .collect()
     }
 
+    /// Cached shared snapshot of the alive-node set. Hot placement paths
+    /// call this once per block/bucket; rebuilding a `Vec` each time (as
+    /// [`Cluster::alive_nodes`] does) was measurable allocator churn. The
+    /// cache is invalidated by [`Cluster::kill_node`] /
+    /// [`Cluster::revive_node`] bumping the liveness epoch *after* the flag
+    /// write, so a cached snapshot is always at least as new as its epoch.
+    pub fn alive_snapshot(&self) -> Arc<Vec<NodeId>> {
+        let epoch = self.liveness_epoch.load(Ordering::Acquire);
+        let mut cache = self.alive_cache.lock();
+        if cache.0 != epoch {
+            *cache = (epoch, Arc::new(self.alive_nodes()));
+        }
+        Arc::clone(&cache.1)
+    }
+
     pub fn num_alive(&self) -> usize {
         self.nodes.iter().filter(|n| n.is_alive()).count()
     }
 
     /// Mark a node dead. Returns `true` if it was alive. Idempotent.
     pub fn kill_node(&self, id: NodeId) -> bool {
-        self.nodes[id.index()].alive.swap(false, Ordering::AcqRel)
+        let was_alive = self.nodes[id.index()].alive.swap(false, Ordering::AcqRel);
+        if was_alive {
+            self.liveness_epoch.fetch_add(1, Ordering::AcqRel);
+        }
+        was_alive
     }
 
     /// Bring a node back (models replacement hardware re-joining).
     pub fn revive_node(&self, id: NodeId) {
         self.nodes[id.index()].alive.store(true, Ordering::Release);
+        self.liveness_epoch.fetch_add(1, Ordering::AcqRel);
     }
 }
 
@@ -178,6 +212,20 @@ mod tests {
         assert_eq!(c.alive_nodes(), vec![NodeId(0), NodeId(2)]);
         c.revive_node(NodeId(1));
         assert_eq!(c.num_alive(), 3);
+    }
+
+    #[test]
+    fn alive_snapshot_caches_and_invalidates() {
+        let c = cluster(3);
+        let s1 = c.alive_snapshot();
+        assert_eq!(*s1, vec![NodeId(0), NodeId(1), NodeId(2)]);
+        let s2 = c.alive_snapshot();
+        assert!(Arc::ptr_eq(&s1, &s2), "unchanged liveness reuses snapshot");
+        c.kill_node(NodeId(1));
+        let s3 = c.alive_snapshot();
+        assert_eq!(*s3, vec![NodeId(0), NodeId(2)]);
+        c.revive_node(NodeId(1));
+        assert_eq!(*c.alive_snapshot(), vec![NodeId(0), NodeId(1), NodeId(2)]);
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! boundaries, and lost cache blocks / shuffle outputs are recovered from
 //! lineage on demand.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 
 use parking_lot::{Mutex, RwLock};
@@ -33,6 +33,7 @@ use crate::estimate::EstimateSize;
 use crate::events::{EngineEvent, EventBus, EventListener, FaultDetail, StageKind, TaskMetrics};
 use crate::meta::MetaRegistry;
 use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::pool::{ExecutorPool, PoolDiagnostics, TaskSlots};
 use crate::shuffle::{hash_key, ShuffleManager};
 use crate::{OpId, ShuffleId};
 
@@ -176,6 +177,7 @@ impl EngineBuilder {
             next_broadcast: AtomicU64::new(0),
             next_job: AtomicU64::new(0),
             next_stage: AtomicU64::new(0),
+            pool: ExecutorPool::new(host_threads),
             host_threads,
         })
     }
@@ -200,6 +202,8 @@ pub struct Engine {
     next_broadcast: AtomicU64,
     next_job: AtomicU64,
     next_stage: AtomicU64,
+    /// Persistent work-stealing pool; built once, reused by every stage.
+    pool: ExecutorPool,
     host_threads: usize,
 }
 
@@ -277,11 +281,25 @@ impl Engine {
         ShuffleId(self.next_shuffle.fetch_add(1, Ordering::Relaxed))
     }
 
-    /// Deterministically place a block/bucket on an alive node.
+    /// Deterministically place a block/bucket on an alive node. Uses the
+    /// cluster's cached alive snapshot — block placement runs once per
+    /// cached block and per shuffle bucket, so a fresh `Vec` per call was
+    /// pure allocator churn.
     pub(crate) fn node_for_block(&self, salt_a: u64, salt_b: u64) -> NodeId {
-        let alive = self.cluster.alive_nodes();
+        let alive = self.cluster.alive_snapshot();
         assert!(!alive.is_empty(), "no alive nodes left in the cluster");
         alive[(hash_key(&(salt_a, salt_b)) % alive.len() as u64) as usize]
+    }
+
+    /// Thread accounting for the persistent executor pool (tests and
+    /// tooling).
+    pub fn pool_diagnostics(&self) -> PoolDiagnostics {
+        self.pool.diagnostics()
+    }
+
+    /// Host execution slots (driver thread + pool workers).
+    pub fn host_threads(&self) -> usize {
+        self.host_threads
     }
 
     /// Broadcast a read-only value to all executors. Charges virtual network
@@ -334,71 +352,94 @@ impl Engine {
         F: Fn(usize, &TaskCtx<'_>) -> R + Sync,
     {
         Metrics::bump(&self.metrics.stages);
-        if parts.is_empty() {
-            return Vec::new();
-        }
         let stage = self.next_stage.fetch_add(1, Ordering::Relaxed);
         let n = parts.len();
-        self.events.emit_with(|| EngineEvent::StageSubmitted {
-            job,
-            stage,
-            kind,
-            num_tasks: n,
-        });
-        let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
-        let vtasks: Mutex<Vec<Option<VirtualTask>>> = Mutex::new((0..n).map(|_| None).collect());
-        // Task measurements missing their virtual placement, which is only
-        // known after the whole batch is list-scheduled below.
-        let partial: Mutex<Vec<Option<TaskMetrics>>> = Mutex::new((0..n).map(|_| None).collect());
-        let next = AtomicUsize::new(0);
-        let workers = self.host_threads.min(n);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    self.events.emit_with(|| EngineEvent::TaskStart {
-                        stage,
-                        partition: parts[i],
-                    });
-                    let ctx = TaskCtx::new(self, parts[i]);
-                    let r = f(parts[i], &ctx);
-                    let vt = ctx.to_virtual_task(&self.cost_model);
-                    Metrics::bump(&self.metrics.tasks);
-                    if self.events.is_active() {
-                        partial.lock()[i] = Some(TaskMetrics {
-                            partition: parts[i],
-                            wall_ns: ctx.elapsed_ns(),
-                            input_bytes: ctx.input_bytes(),
-                            shuffle_read_bytes: ctx.shuffle_read_bytes(),
-                            shuffle_write_bytes: ctx.shuffle_write_bytes(),
-                            cache_hits: ctx.cache_hits(),
-                            cache_misses: ctx.cache_misses(),
-                            recomputed_partitions: ctx.recomputed(),
-                            ..TaskMetrics::default()
-                        });
-                    }
-                    results.lock()[i] = Some(r);
-                    vtasks.lock()[i] = Some(vt);
-                    self.on_task_complete();
+        // Snapshot observability once per stage: a listener registered
+        // mid-stage sees the next stage whole, never a torn one, and tasks
+        // can read the flag without touching the bus.
+        let observed = self.events.is_active();
+        if observed {
+            self.events.emit(&EngineEvent::StageSubmitted {
+                job,
+                stage,
+                kind,
+                num_tasks: n,
+            });
+        }
+        if n == 0 {
+            // Empty stages still count in `metrics.stages`, so they must
+            // also emit a matching Submitted/Completed pair — otherwise
+            // traces and metrics disagree.
+            if observed {
+                self.events.emit(&EngineEvent::StageCompleted {
+                    job,
+                    stage,
+                    kind,
+                    makespan_ns: 0,
+                    local_reads: 0,
                 });
             }
-        });
-        let vtasks: Vec<VirtualTask> = vtasks
-            .into_inner()
-            .into_iter()
-            .map(|t| t.expect("every task produced a virtual task"))
-            .collect();
+            return Vec::new();
+        }
+        // Write-once slot per task — the pool claims each index exactly
+        // once, so the completion path takes zero locks. Panics are caught
+        // and stored so every claimed slot is always written; the driver
+        // re-raises the first one after the stage drains.
+        let slots: TaskSlots<std::thread::Result<(R, VirtualTask, Option<TaskMetrics>)>> =
+            TaskSlots::new(n);
+        let run_task = |i: usize| {
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let ctx = TaskCtx::new(self, parts[i]);
+                let r = f(parts[i], &ctx);
+                let vt = ctx.to_virtual_task(&self.cost_model);
+                // Virtual placement is only known once the whole batch is
+                // list-scheduled below; record the measured half now.
+                let m = observed.then(|| TaskMetrics {
+                    partition: parts[i],
+                    wall_ns: ctx.elapsed_ns(),
+                    input_bytes: ctx.input_bytes(),
+                    shuffle_read_bytes: ctx.shuffle_read_bytes(),
+                    shuffle_write_bytes: ctx.shuffle_write_bytes(),
+                    cache_hits: ctx.cache_hits(),
+                    cache_misses: ctx.cache_misses(),
+                    recomputed_partitions: ctx.recomputed(),
+                    ..TaskMetrics::default()
+                });
+                Metrics::bump(&self.metrics.tasks);
+                self.on_task_complete();
+                (r, vt, m)
+            }));
+            // SAFETY: the pool hands index `i` to exactly one participant.
+            unsafe { slots.write(i, outcome) };
+        };
+        self.pool.run(n, &run_task);
+        let mut results = Vec::with_capacity(n);
+        let mut vtasks = Vec::with_capacity(n);
+        let mut partial = Vec::with_capacity(n);
+        // SAFETY: `pool.run` returned, so every index was claimed, run, and
+        // its slot written, with the pool's completion protocol ordering
+        // those writes before this read.
+        for slot in unsafe { slots.into_vec() } {
+            match slot {
+                Ok((r, vt, m)) => {
+                    results.push(r);
+                    vtasks.push(vt);
+                    partial.push(m);
+                }
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
         let outcome = self.vsched.lock().schedule(&vtasks);
         self.vclock.advance(self.cost_model.stage_overhead_ns);
         Metrics::add(&self.metrics.input_local_reads, outcome.local_reads as u64);
-        if self.events.is_active() {
-            // Fill in each task's virtual placement and emit TaskEnd in
-            // partition order (outcome.tasks is index-aligned with vtasks).
-            for (i, partial) in partial.into_inner().into_iter().enumerate() {
-                let mut m = partial.expect("every task recorded metrics");
+        if observed {
+            // One flush per stage: TaskStart/TaskEnd pairs in partition
+            // order (outcome.tasks is index-aligned with vtasks), closed by
+            // StageCompleted — O(1) bus lock acquisitions instead of
+            // O(tasks).
+            let mut batch = Vec::with_capacity(2 * n + 1);
+            for (i, m) in partial.into_iter().enumerate() {
+                let mut m = m.expect("observed stage recorded metrics for every task");
                 m.virtual_compute_ns = vtasks[i].compute_ns;
                 let placed = &outcome.tasks[i];
                 m.virtual_start_ns = placed.start_ns;
@@ -406,37 +447,45 @@ impl Engine {
                 m.node = u64::from(placed.node.0);
                 m.executor = placed.executor;
                 m.input_local = placed.input_local;
-                self.events
-                    .emit(&EngineEvent::TaskEnd { stage, metrics: m });
+                batch.push(EngineEvent::TaskStart {
+                    stage,
+                    partition: parts[i],
+                });
+                batch.push(EngineEvent::TaskEnd { stage, metrics: m });
             }
-            self.events.emit(&EngineEvent::StageCompleted {
+            batch.push(EngineEvent::StageCompleted {
                 job,
                 stage,
                 kind,
                 makespan_ns: outcome.makespan_ns,
                 local_reads: outcome.local_reads,
             });
+            self.events.emit_batch(&batch);
         }
         results
-            .into_inner()
-            .into_iter()
-            .map(|r| r.expect("every task produced a result"))
-            .collect()
     }
 
     /// Materialize a shuffle's missing map outputs as one parallel stage.
+    /// One `stage_info` snapshot replaces the previous three separate
+    /// shuffle-manager lock round-trips (shape, runner, missing parts).
     pub(crate) fn ensure_shuffle(&self, sid: ShuffleId, job: Option<u64>) {
-        let missing = self.shuffle.missing_map_parts(sid);
-        if missing.is_empty() {
-            return;
-        }
-        let Some(runner) = self.shuffle.map_task_runner(sid) else {
+        let Some(info) = self.shuffle.stage_info(sid) else {
             return;
         };
-        Metrics::add(&self.metrics.shuffle_map_tasks, missing.len() as u64);
-        self.run_stage_tagged(&missing, job, StageKind::ShuffleMap, |part, ctx| {
-            runner(part, ctx)
-        });
+        if info.missing_map_parts.is_empty() {
+            return;
+        }
+        Metrics::add(
+            &self.metrics.shuffle_map_tasks,
+            info.missing_map_parts.len() as u64,
+        );
+        let runner = info.run_map_task;
+        self.run_stage_tagged(
+            &info.missing_map_parts,
+            job,
+            StageKind::ShuffleMap,
+            |part, ctx| runner(part, ctx),
+        );
     }
 
     /// Re-run one lost map task inline on the current task's thread —
@@ -725,5 +774,39 @@ mod tests {
         let e = engine();
         let out: Vec<u32> = e.run_stage(&[], |_, _| 1u32);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn empty_stage_emits_matching_submitted_and_completed() {
+        let mem = Arc::new(crate::events::MemoryEventListener::new());
+        let e = Engine::builder(ClusterSpec::test_small(2))
+            .listener(Arc::clone(&mem) as Arc<dyn EventListener>)
+            .build();
+        let before = e.metrics_snapshot();
+        let out: Vec<u32> = e.run_stage(&[], |_, _| 1u32);
+        assert!(out.is_empty());
+        let delta = e.metrics_snapshot().delta_since(&before);
+        assert_eq!(delta.stages, 1, "empty stages count in metrics");
+        let events = mem.snapshot();
+        // Traces must agree with metrics: one Submitted/Completed pair,
+        // zero tasks, same stage id.
+        assert_eq!(events.len(), 2, "{events:?}");
+        let EngineEvent::StageSubmitted {
+            stage, num_tasks, ..
+        } = events[0]
+        else {
+            panic!("expected StageSubmitted, got {:?}", events[0]);
+        };
+        assert_eq!(num_tasks, 0);
+        let EngineEvent::StageCompleted {
+            stage: done,
+            makespan_ns,
+            ..
+        } = events[1]
+        else {
+            panic!("expected StageCompleted, got {:?}", events[1]);
+        };
+        assert_eq!(done, stage);
+        assert_eq!(makespan_ns, 0);
     }
 }

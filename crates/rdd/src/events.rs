@@ -451,6 +451,16 @@ impl EngineEvent {
 pub trait EventListener: Send + Sync {
     fn on_event(&self, event: &EngineEvent);
 
+    /// Receive a batch of events emitted together (the engine flushes all
+    /// of a stage's task events in one batch at stage end). The default
+    /// forwards to [`EventListener::on_event`] per event; listeners with
+    /// internal locks should override to take the lock once per batch.
+    fn on_events(&self, events: &[EngineEvent]) {
+        for event in events {
+            self.on_event(event);
+        }
+    }
+
     /// Flush any buffered output. Called by [`EventBus::flush_all`] and
     /// when the bus itself is dropped (engine shutdown), so listeners
     /// that buffer — like [`EventLogListener`] — never lose the tail of a
@@ -521,6 +531,19 @@ impl EventBus {
         }
     }
 
+    /// Dispatch a batch of events in one pass: the listener list is read
+    /// once and each listener sees the whole batch through
+    /// [`EventListener::on_events`], so emission is O(1) lock
+    /// acquisitions per batch rather than O(events).
+    pub fn emit_batch(&self, events: &[EngineEvent]) {
+        if events.is_empty() || !self.is_active() {
+            return;
+        }
+        for l in self.listeners.read().iter() {
+            l.on_events(events);
+        }
+    }
+
     /// Ask every listener to flush buffered output.
     pub fn flush_all(&self) {
         for l in self.listeners.read().iter() {
@@ -577,6 +600,17 @@ impl EventListener for EventLogListener {
         let mut out = self.out.lock();
         // An unwritable log must not take down the computation it observes.
         let _ = writeln!(out, "{line}");
+    }
+
+    fn on_events(&self, events: &[EngineEvent]) {
+        // Serialize outside the lock, then take it once for the batch.
+        let mut text = String::new();
+        for event in events {
+            text.push_str(&event.to_json().to_string());
+            text.push('\n');
+        }
+        let mut out = self.out.lock();
+        let _ = out.write_all(text.as_bytes());
     }
 
     fn on_flush(&self) {
@@ -674,8 +708,7 @@ impl StageSummaryListener {
         self.stages.lock().clone()
     }
 
-    fn with_stage(&self, stage: u64, f: impl FnOnce(&mut StageSummary)) {
-        let mut stages = self.stages.lock();
+    fn with_stage(stages: &mut Vec<StageSummary>, stage: u64, f: impl FnOnce(&mut StageSummary)) {
         match stages.iter_mut().find(|s| s.stage == stage) {
             Some(s) => f(s),
             None => {
@@ -686,6 +719,41 @@ impl StageSummaryListener {
                 f(&mut s);
                 stages.push(s);
             }
+        }
+    }
+
+    fn apply(stages: &mut Vec<StageSummary>, event: &EngineEvent) {
+        match event {
+            EngineEvent::StageSubmitted {
+                job,
+                stage,
+                kind,
+                num_tasks,
+            } => Self::with_stage(stages, *stage, |s| {
+                s.job = *job;
+                s.kind = Some(*kind);
+                s.num_tasks = *num_tasks;
+            }),
+            EngineEvent::TaskEnd { stage, metrics } => Self::with_stage(stages, *stage, |s| {
+                s.task_virtual_ns.push(metrics.virtual_runtime_ns());
+                s.task_wall_ns.push(metrics.wall_ns);
+                s.input_bytes += metrics.input_bytes;
+                s.shuffle_read_bytes += metrics.shuffle_read_bytes;
+                s.shuffle_write_bytes += metrics.shuffle_write_bytes;
+                s.cache_hits += metrics.cache_hits;
+                s.cache_misses += metrics.cache_misses;
+                s.recomputed_partitions += metrics.recomputed_partitions;
+            }),
+            EngineEvent::StageCompleted {
+                stage,
+                makespan_ns,
+                local_reads,
+                ..
+            } => Self::with_stage(stages, *stage, |s| {
+                s.makespan_ns = *makespan_ns;
+                s.local_reads = *local_reads;
+            }),
+            _ => {}
         }
     }
 
@@ -755,37 +823,13 @@ pub fn fmt_bytes(bytes: u64) -> String {
 
 impl EventListener for StageSummaryListener {
     fn on_event(&self, event: &EngineEvent) {
-        match event {
-            EngineEvent::StageSubmitted {
-                job,
-                stage,
-                kind,
-                num_tasks,
-            } => self.with_stage(*stage, |s| {
-                s.job = *job;
-                s.kind = Some(*kind);
-                s.num_tasks = *num_tasks;
-            }),
-            EngineEvent::TaskEnd { stage, metrics } => self.with_stage(*stage, |s| {
-                s.task_virtual_ns.push(metrics.virtual_runtime_ns());
-                s.task_wall_ns.push(metrics.wall_ns);
-                s.input_bytes += metrics.input_bytes;
-                s.shuffle_read_bytes += metrics.shuffle_read_bytes;
-                s.shuffle_write_bytes += metrics.shuffle_write_bytes;
-                s.cache_hits += metrics.cache_hits;
-                s.cache_misses += metrics.cache_misses;
-                s.recomputed_partitions += metrics.recomputed_partitions;
-            }),
-            EngineEvent::StageCompleted {
-                stage,
-                makespan_ns,
-                local_reads,
-                ..
-            } => self.with_stage(*stage, |s| {
-                s.makespan_ns = *makespan_ns;
-                s.local_reads = *local_reads;
-            }),
-            _ => {}
+        Self::apply(&mut self.stages.lock(), event);
+    }
+
+    fn on_events(&self, events: &[EngineEvent]) {
+        let mut stages = self.stages.lock();
+        for event in events {
+            Self::apply(&mut stages, event);
         }
     }
 }
@@ -866,6 +910,10 @@ impl MemoryEventListener {
 impl EventListener for MemoryEventListener {
     fn on_event(&self, event: &EngineEvent) {
         self.events.lock().push(event.clone());
+    }
+
+    fn on_events(&self, events: &[EngineEvent]) {
+        self.events.lock().extend_from_slice(events);
     }
 }
 

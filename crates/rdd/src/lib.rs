@@ -48,6 +48,7 @@ pub mod events;
 pub mod meta;
 pub mod metrics;
 pub mod ops;
+pub mod pool;
 pub mod shuffle;
 
 pub use context::TaskCtx;
@@ -61,6 +62,8 @@ pub use events::{
 pub use metrics::{Counter, Gauge, Histogram, MetricsSnapshot, Registry};
 pub use ops::shuffled::Aggregator;
 pub use ops::Data;
+pub use pool::PoolDiagnostics;
+pub use shuffle::SHUFFLE_SHARDS;
 
 /// Identifier of one operator in a lineage graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]

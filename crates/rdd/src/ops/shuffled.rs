@@ -124,35 +124,45 @@ pub(crate) fn register_shuffle_map<K, V, C>(
     );
 }
 
-/// Fetch one bucket of `sid` for `reduce_part`, re-running the map task
-/// inline if the bucket is missing. Returns the typed records.
-fn fetch_bucket<K, C>(
+/// Fetch all map buckets of `sid` for `reduce_part` in one batch call
+/// (one pass over the shuffle manager's lock shards instead of one lock
+/// round-trip per map partition), re-running the map task inline for any
+/// bucket that is missing. Returns the typed records in map-partition
+/// order.
+fn fetch_buckets<K, C>(
     sid: ShuffleId,
-    map_part: usize,
+    num_map_parts: usize,
     reduce_part: usize,
     ctx: &TaskCtx<'_>,
-) -> Arc<Vec<(K, C)>>
+) -> Vec<Arc<Vec<(K, C)>>>
 where
     K: Data + Hash + Eq,
     C: Data,
 {
     let engine = ctx.engine();
-    let bucket = match engine.shuffle.get_bucket(sid, map_part, reduce_part) {
-        Some(b) => b,
-        None => {
-            engine.rerun_map_task_inline(sid, map_part, ctx);
-            engine
-                .shuffle
-                .get_bucket(sid, map_part, reduce_part)
-                .expect("re-run map task must restore its shuffle output")
-        }
-    };
-    ctx.add_shuffle_read(bucket.bytes);
-    Metrics::add(&engine.metrics.shuffle_bytes_read, bucket.bytes);
-    bucket
-        .data
-        .downcast::<Vec<(K, C)>>()
-        .expect("shuffle bucket holds the registered record type")
+    engine
+        .shuffle
+        .get_buckets(sid, reduce_part, num_map_parts)
+        .into_iter()
+        .enumerate()
+        .map(|(map_part, bucket)| {
+            // Recovery stays per-bucket: only re-run maps whose output is
+            // actually gone, then re-fetch just that bucket.
+            let bucket = bucket.unwrap_or_else(|| {
+                engine.rerun_map_task_inline(sid, map_part, ctx);
+                engine
+                    .shuffle
+                    .get_bucket(sid, map_part, reduce_part)
+                    .expect("re-run map task must restore its shuffle output")
+            });
+            ctx.add_shuffle_read(bucket.bytes);
+            Metrics::add(&engine.metrics.shuffle_bytes_read, bucket.bytes);
+            bucket
+                .data
+                .downcast::<Vec<(K, C)>>()
+                .expect("shuffle bucket holds the registered record type")
+        })
+        .collect()
 }
 
 /// Reduce side of a combine-by-key shuffle: yields `(K, C)` pairs.
@@ -219,8 +229,7 @@ where
 
     fn compute(&self, part: usize, ctx: &TaskCtx<'_>) -> Vec<(K, C)> {
         let mut table: DetHashMap<K, C> = DetHashMap::default();
-        for m in 0..self.num_map_parts {
-            let records = fetch_bucket::<K, C>(self.sid, m, part, ctx);
+        for records in fetch_buckets::<K, C>(self.sid, self.num_map_parts, part, ctx) {
             ctx.add_work(records.len(), 1.5);
             for (k, c) in records.iter().cloned() {
                 match table.entry(k) {
@@ -315,15 +324,13 @@ where
 
     fn compute(&self, part: usize, ctx: &TaskCtx<'_>) -> Vec<(K, (Vec<V>, Vec<W>))> {
         let mut table: DetHashMap<K, (Vec<V>, Vec<W>)> = DetHashMap::default();
-        for m in 0..self.maps_left {
-            let records = fetch_bucket::<K, Vec<V>>(self.sid_left, m, part, ctx);
+        for records in fetch_buckets::<K, Vec<V>>(self.sid_left, self.maps_left, part, ctx) {
             ctx.add_work(records.len(), 1.5);
             for (k, mut vs) in records.iter().cloned() {
                 table.entry(k).or_default().0.append(&mut vs);
             }
         }
-        for m in 0..self.maps_right {
-            let records = fetch_bucket::<K, Vec<W>>(self.sid_right, m, part, ctx);
+        for records in fetch_buckets::<K, Vec<W>>(self.sid_right, self.maps_right, part, ctx) {
             ctx.add_work(records.len(), 1.5);
             for (k, mut ws) in records.iter().cloned() {
                 table.entry(k).or_default().1.append(&mut ws);

@@ -1,0 +1,520 @@
+//! Persistent work-stealing executor pool and lock-free task result slots.
+//!
+//! The seed engine paid a `std::thread::scope` spawn/join for **every
+//! stage**. Resampling inference (the paper's Algorithms 2 and 3) runs
+//! thousands of small stages per experiment — B permutation or multiplier
+//! iterations, each a full job over the cached `U` RDD — so per-stage
+//! thread churn dominated exactly the regime the paper cares about. This
+//! module replaces it with:
+//!
+//! * [`ExecutorPool`] — `host_threads - 1` worker threads built once at
+//!   [`crate::Engine`] construction and reused across all stages and jobs.
+//!   Each stage's task indices are split into per-participant ranges
+//!   claimed in chunks from the front by their owner and stolen in halves
+//!   from the back by idle participants (lazy-splitting work stealing over
+//!   an index range, one CAS per claim). Idle workers park on a condvar;
+//!   the driver thread participates in every stage, so a one-task stage
+//!   runs **inline on the driver with no pool interaction at all**.
+//! * [`TaskSlots`] — write-once result cells indexed by task. Every task
+//!   index is claimed by exactly one participant, so slot writes are
+//!   disjoint and need no lock; the pool's completion protocol provides
+//!   the happens-before edge for the driver's final read.
+//!
+//! Shutdown is tied to engine drop: the pool sets a shutdown flag, wakes
+//! every worker, and joins them, so no detached threads outlive the
+//! engine.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+/// Write-once, lock-free result slots, one per task index.
+///
+/// # Safety contract
+///
+/// * [`TaskSlots::write`] must be called **at most once per index**, and
+///   never concurrently for the same index. The pool guarantees this: an
+///   index is handed to exactly one participant by a successful CAS claim.
+/// * [`TaskSlots::into_vec`] must only be called after every index has
+///   been written **and** those writes happen-before the call (the pool's
+///   completion counter and state mutex provide the edge).
+///
+/// If the stage aborts before all slots are written, the slots are leaked
+/// (`MaybeUninit` never drops) — a leak, not UB, and only reachable when
+/// the process is already unwinding.
+pub(crate) struct TaskSlots<T> {
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+}
+
+// SAFETY: slots are written by worker threads (T crosses threads once) and
+// read back only by the driver after the completion barrier; disjoint
+// indices make the cells effectively thread-owned per task.
+unsafe impl<T: Send> Sync for TaskSlots<T> {}
+unsafe impl<T: Send> Send for TaskSlots<T> {}
+
+impl<T> TaskSlots<T> {
+    pub fn new(n: usize) -> Self {
+        TaskSlots {
+            slots: (0..n)
+                .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+                .collect(),
+        }
+    }
+
+    /// Store the result for task `i`.
+    ///
+    /// # Safety
+    /// `i` is in bounds, written at most once, never concurrently.
+    #[inline]
+    pub unsafe fn write(&self, i: usize, value: T) {
+        debug_assert!(i < self.slots.len());
+        (*self.slots[i].get()).write(value);
+    }
+
+    /// Take all results, in index order.
+    ///
+    /// # Safety
+    /// Every index was written exactly once and those writes
+    /// happen-before this call.
+    pub unsafe fn into_vec(self) -> Vec<T> {
+        self.slots
+            .into_vec()
+            .into_iter()
+            .map(|cell| cell.into_inner().assume_init())
+            .collect()
+    }
+}
+
+/// Packed task range `lo..hi` (each 32 bits) owned by one participant.
+/// Owners claim chunks from the front, thieves take halves from the back;
+/// both are single CASes on the same word, so claims never overlap.
+struct TaskRange(AtomicU64);
+
+const LO_SHIFT: u32 = 32;
+const HI_MASK: u64 = 0xffff_ffff;
+
+#[inline]
+fn pack(lo: usize, hi: usize) -> u64 {
+    ((lo as u64) << LO_SHIFT) | hi as u64
+}
+
+#[inline]
+fn unpack(v: u64) -> (usize, usize) {
+    ((v >> LO_SHIFT) as usize, (v & HI_MASK) as usize)
+}
+
+impl TaskRange {
+    fn new(lo: usize, hi: usize) -> Self {
+        TaskRange(AtomicU64::new(pack(lo, hi)))
+    }
+
+    /// Owner side: claim a chunk from the front. Chunk size grows with the
+    /// remaining range (amortizing CAS traffic over many tiny tasks) but
+    /// stays small enough that thieves can still balance skewed stages.
+    fn claim_front(&self) -> Option<(usize, usize)> {
+        let mut cur = self.0.load(Ordering::Acquire);
+        loop {
+            let (lo, hi) = unpack(cur);
+            if lo >= hi {
+                return None;
+            }
+            let take = ((hi - lo) / 8).clamp(1, 16);
+            let end = (lo + take).min(hi);
+            match self.0.compare_exchange_weak(
+                cur,
+                pack(end, hi),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some((lo, end)),
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Thief side: steal half of the remaining range from the back.
+    fn steal_back(&self) -> Option<(usize, usize)> {
+        let mut cur = self.0.load(Ordering::Acquire);
+        loop {
+            let (lo, hi) = unpack(cur);
+            if lo >= hi {
+                return None;
+            }
+            let take = ((hi - lo) / 2).max(1);
+            let start = hi - take;
+            match self.0.compare_exchange_weak(
+                cur,
+                pack(lo, start),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some((start, hi)),
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
+
+/// One published stage: the type-erased task runner plus the claim state.
+/// Lives on the driver's stack for the duration of `ExecutorPool::run`;
+/// the retire protocol guarantees no worker holds the pointer after the
+/// driver returns.
+struct StageJob {
+    /// Runs task index `i`. Must not unwind — the engine wraps every task
+    /// body in `catch_unwind` and stores the panic as a result. The
+    /// `'static` is a lie told to the type system: the borrow lives until
+    /// the publishing `ExecutorPool::run` frame returns, and the retire
+    /// protocol keeps every use inside that window.
+    run: &'static (dyn Fn(usize) + Sync),
+    ranges: Box<[TaskRange]>,
+    completed: AtomicUsize,
+}
+
+/// Pointer to the driver-stack `StageJob`, shared through `PoolState`.
+#[derive(Clone, Copy)]
+struct JobHandle(*const StageJob);
+
+// SAFETY: the handle only crosses threads between publish and retire;
+// the driver blocks until `in_flight == 0` before invalidating it.
+unsafe impl Send for JobHandle {}
+
+struct PoolState {
+    /// Bumped at every publish; workers use it to avoid re-entering a
+    /// stage they already drained.
+    epoch: u64,
+    job: Option<JobHandle>,
+    /// Workers currently holding the job pointer.
+    in_flight: usize,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Workers wait here for a publish (or shutdown).
+    work_cv: Condvar,
+    /// The driver waits here for stage completion and in-flight drain.
+    done_cv: Condvar,
+    threads_alive: AtomicUsize,
+    threads_spawned: AtomicUsize,
+}
+
+impl PoolShared {
+    /// Lock the pool state, shrugging off poison: a panic can only occur
+    /// outside the critical sections (task bodies are caught), so the
+    /// state is never left inconsistent.
+    fn lock(&self) -> MutexGuard<'_, PoolState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Observability handle for the pool's thread accounting (leak and
+/// per-stage-spawn regression tests). Cheap to clone; stays valid after
+/// the engine is dropped.
+#[derive(Clone)]
+pub struct PoolDiagnostics {
+    shared: Arc<PoolShared>,
+}
+
+impl PoolDiagnostics {
+    /// Worker threads spawned since pool construction. A healthy pool
+    /// spawns exactly once; growth here means per-stage spawning is back.
+    pub fn threads_spawned(&self) -> usize {
+        self.shared.threads_spawned.load(Ordering::Acquire)
+    }
+
+    /// Worker threads currently alive (0 after the owning engine drops).
+    pub fn threads_alive(&self) -> usize {
+        self.shared.threads_alive.load(Ordering::Acquire)
+    }
+}
+
+/// The persistent executor pool. See the module docs for the protocol.
+pub(crate) struct ExecutorPool {
+    shared: Arc<PoolShared>,
+    /// Serializes stage submissions: one stage owns the claim state at a
+    /// time. Concurrent driver threads queue here (jobs are sequential on
+    /// the driver anyway — the virtual scheduler erects a barrier per job).
+    submit: Mutex<()>,
+    workers: Vec<JoinHandle<()>>,
+    /// Total participants per stage: the workers plus the driver.
+    participants: usize,
+}
+
+impl ExecutorPool {
+    /// Build a pool with `host_threads` total execution slots: the calling
+    /// driver thread plus `host_threads - 1` parked workers.
+    pub fn new(host_threads: usize) -> Self {
+        let host_threads = host_threads.max(1);
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                epoch: 0,
+                job: None,
+                in_flight: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            threads_alive: AtomicUsize::new(0),
+            threads_spawned: AtomicUsize::new(0),
+        });
+        let workers = (1..host_threads)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                shared.threads_alive.fetch_add(1, Ordering::AcqRel);
+                shared.threads_spawned.fetch_add(1, Ordering::AcqRel);
+                std::thread::Builder::new()
+                    .name(format!("sparkscore-exec-{w}"))
+                    .spawn(move || worker_loop(&shared, w))
+                    .expect("spawn executor pool worker")
+            })
+            .collect();
+        ExecutorPool {
+            shared,
+            submit: Mutex::new(()),
+            workers,
+            participants: host_threads,
+        }
+    }
+
+    pub fn diagnostics(&self) -> PoolDiagnostics {
+        PoolDiagnostics {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Run `n` tasks, calling `run_task(i)` exactly once for each
+    /// `i in 0..n`, and return once all have completed. `run_task` must
+    /// not unwind (wrap task bodies in `catch_unwind`).
+    ///
+    /// One-task stages — the resampling hot path — run inline on the
+    /// caller with no locks, wakeups, or atomics.
+    pub fn run(&self, n: usize, run_task: &(dyn Fn(usize) + Sync)) {
+        match n {
+            0 => return,
+            1 => {
+                run_task(0);
+                return;
+            }
+            _ => {}
+        }
+        if self.participants == 1 {
+            for i in 0..n {
+                run_task(i);
+            }
+            return;
+        }
+
+        assert!(n as u64 <= HI_MASK, "stage exceeds the packed-range limit");
+        let _stage_owner = self.submit.lock().unwrap_or_else(|e| e.into_inner());
+        // SAFETY(lifetime erasure): the reference is only used between
+        // publish and retire below, both inside this call, so the borrow
+        // it came from is live for every use.
+        let run_static: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(run_task) };
+        let job = StageJob {
+            run: run_static,
+            ranges: split_ranges(n, self.participants),
+            completed: AtomicUsize::new(0),
+        };
+
+        // Publish and wake just enough workers to cover the stage.
+        {
+            let mut st = self.shared.lock();
+            st.epoch = st.epoch.wrapping_add(1);
+            st.job = Some(JobHandle(&job as *const StageJob));
+            let wake = (self.participants - 1).min(n - 1);
+            if wake == self.participants - 1 {
+                self.shared.work_cv.notify_all();
+            } else {
+                for _ in 0..wake {
+                    self.shared.work_cv.notify_one();
+                }
+            }
+        }
+
+        // The driver is participant 0: it executes its own share (and
+        // steals) before waiting, so a stage never blocks on a wakeup.
+        execute_stage(&job, 0);
+
+        // Wait for completion, retire the job, then drain stragglers that
+        // still hold the pointer before the job leaves this stack frame.
+        let mut st = self.shared.lock();
+        while job.completed.load(Ordering::Acquire) < n {
+            st = self
+                .shared
+                .done_cv
+                .wait(st)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        st.job = None;
+        while st.in_flight > 0 {
+            st = self
+                .shared
+                .done_cv
+                .wait(st)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+impl Drop for ExecutorPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.lock();
+            st.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Split `0..n` into `participants` contiguous ranges (some possibly
+/// empty); participant 0 is the driver.
+fn split_ranges(n: usize, participants: usize) -> Box<[TaskRange]> {
+    (0..participants)
+        .map(|p| TaskRange::new(p * n / participants, (p + 1) * n / participants))
+        .collect()
+}
+
+/// Drain the stage from participant `me`'s viewpoint: claim chunks from
+/// the own range, then steal from the others until nothing is left.
+fn execute_stage(job: &StageJob, me: usize) {
+    let run = job.run;
+    let mut ran = 0usize;
+    loop {
+        while let Some((lo, hi)) = job.ranges[me].claim_front() {
+            for i in lo..hi {
+                run(i);
+            }
+            ran += hi - lo;
+        }
+        let mut stole = false;
+        for off in 1..job.ranges.len() {
+            let victim = (me + off) % job.ranges.len();
+            if let Some((lo, hi)) = job.ranges[victim].steal_back() {
+                for i in lo..hi {
+                    run(i);
+                }
+                ran += hi - lo;
+                stole = true;
+                break;
+            }
+        }
+        if !stole {
+            break;
+        }
+    }
+    if ran > 0 {
+        job.completed.fetch_add(ran, Ordering::AcqRel);
+    }
+}
+
+fn worker_loop(shared: &PoolShared, me: usize) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let handle = {
+            let mut st = shared.lock();
+            loop {
+                if st.shutdown {
+                    shared.threads_alive.fetch_sub(1, Ordering::AcqRel);
+                    return;
+                }
+                if let Some(h) = st.job {
+                    if st.epoch != seen_epoch {
+                        seen_epoch = st.epoch;
+                        st.in_flight += 1;
+                        break h;
+                    }
+                }
+                st = shared.work_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        // SAFETY: in_flight was incremented under the state lock while the
+        // job was published, so the driver cannot free it until we exit.
+        execute_stage(unsafe { &*handle.0 }, me);
+        {
+            let mut st = shared.lock();
+            st.in_flight -= 1;
+        }
+        shared.done_cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn ranges_claim_and_steal_disjointly() {
+        let r = TaskRange::new(0, 100);
+        let mut seen = vec![false; 100];
+        loop {
+            let claimed = if seen.iter().filter(|s| **s).count() % 2 == 0 {
+                r.claim_front()
+            } else {
+                r.steal_back()
+            };
+            let Some((lo, hi)) = claimed else { break };
+            for i in lo..hi {
+                assert!(!seen[i], "index {i} claimed twice");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.into_iter().all(|s| s), "every index claimed");
+    }
+
+    #[test]
+    fn pool_runs_every_task_exactly_once() {
+        let pool = ExecutorPool::new(4);
+        for &n in &[0usize, 1, 2, 3, 17, 256, 1000] {
+            let counts: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+            pool.run(n, &|i| {
+                counts[i].fetch_add(1, Ordering::Relaxed);
+            });
+            for (i, c) in counts.iter().enumerate() {
+                assert_eq!(c.load(Ordering::Relaxed), 1, "task {i} of {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn pool_reuses_threads_across_many_stages() {
+        let pool = ExecutorPool::new(3);
+        let diag = pool.diagnostics();
+        for _ in 0..500 {
+            let hits = AtomicUsize::new(0);
+            pool.run(5, &|_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), 5);
+        }
+        assert_eq!(diag.threads_spawned(), 2, "workers spawned exactly once");
+        assert_eq!(diag.threads_alive(), 2);
+        drop(pool);
+        assert_eq!(diag.threads_alive(), 0, "drop joins all workers");
+    }
+
+    #[test]
+    fn single_threaded_pool_runs_inline_in_order() {
+        let pool = ExecutorPool::new(1);
+        let order = Mutex::new(Vec::new());
+        pool.run(8, &|i| order.lock().unwrap().push(i));
+        assert_eq!(*order.lock().unwrap(), (0..8).collect::<Vec<_>>());
+        assert_eq!(pool.diagnostics().threads_spawned(), 0);
+    }
+
+    #[test]
+    fn slots_round_trip_results() {
+        let slots: TaskSlots<String> = TaskSlots::new(4);
+        for i in 0..4 {
+            // SAFETY: unique index, single thread.
+            unsafe { slots.write(i, format!("v{i}")) };
+        }
+        let v = unsafe { slots.into_vec() };
+        assert_eq!(v, vec!["v0", "v1", "v2", "v3"]);
+    }
+}

@@ -17,11 +17,17 @@ use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hash, Hasher};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use sparkscore_cluster::NodeId;
 
 use crate::context::TaskCtx;
 use crate::ShuffleId;
+
+/// Number of lock shards the map-output store is split across. Map tasks
+/// land on `hash(shuffle, map_part) % SHUFFLE_SHARDS`, so concurrent map
+/// writers and reduce readers contend on 1/16th of the state instead of
+/// one global lock.
+pub const SHUFFLE_SHARDS: usize = 16;
 
 /// Deterministic hash map used for combine/co-group tables so that output
 /// ordering is a pure function of the input.
@@ -88,16 +94,38 @@ pub struct ShuffleStage {
     pub run_map_task: Arc<dyn Fn(usize, &TaskCtx<'_>) + Send + Sync>,
 }
 
-#[derive(Default)]
-struct ShuffleInner {
-    stages: HashMap<ShuffleId, ShuffleStage>,
-    outputs: HashMap<(ShuffleId, usize), MapOutput>,
+/// One-call snapshot of a shuffle stage for the scheduler: its shape, the
+/// map-task runner, and which map outputs are currently missing. Replaces
+/// the `stage_shape` + `map_task_runner` + `missing_map_parts` triple the
+/// scheduler used to make, each of which took the (now sharded) locks
+/// again.
+pub struct ShuffleStageInfo {
+    pub num_map_parts: usize,
+    pub num_reduce_parts: usize,
+    /// Map partitions whose output is currently absent, ascending.
+    pub missing_map_parts: Vec<usize>,
+    pub run_map_task: Arc<dyn Fn(usize, &TaskCtx<'_>) + Send + Sync>,
 }
 
+type OutputShard = Mutex<HashMap<(ShuffleId, usize), MapOutput>>;
+
 /// Registry of shuffle stages and their map outputs.
+///
+/// Stage registrations are read-mostly and live behind one `RwLock`; map
+/// outputs — the hot, per-task read/write state — are sharded across
+/// [`SHUFFLE_SHARDS`] independent locks keyed by `hash(shuffle,
+/// map_part)`, and reducers fetch all of a partition's buckets with one
+/// pass over the shards ([`ShuffleManager::get_buckets`]) instead of one
+/// global-lock round-trip per map partition.
 #[derive(Default)]
 pub struct ShuffleManager {
-    inner: Mutex<ShuffleInner>,
+    stages: RwLock<HashMap<ShuffleId, Arc<ShuffleStage>>>,
+    shards: [OutputShard; SHUFFLE_SHARDS],
+}
+
+#[inline]
+fn shard_index(sid: ShuffleId, map_part: usize) -> usize {
+    (hash_key(&(sid.0, map_part)) % SHUFFLE_SHARDS as u64) as usize
 }
 
 impl ShuffleManager {
@@ -106,21 +134,21 @@ impl ShuffleManager {
     }
 
     pub fn register(&self, sid: ShuffleId, stage: ShuffleStage) {
-        self.inner.lock().stages.insert(sid, stage);
+        self.stages.write().insert(sid, Arc::new(stage));
     }
 
     /// Drop the stage and all its outputs (called when the shuffle's
     /// operator is dropped — Spark's `ContextCleaner` equivalent).
     pub fn unregister(&self, sid: ShuffleId) {
-        let mut g = self.inner.lock();
-        g.stages.remove(&sid);
-        g.outputs.retain(|(s, _), _| *s != sid);
+        self.stages.write().remove(&sid);
+        for shard in &self.shards {
+            shard.lock().retain(|(s, _), _| *s != sid);
+        }
     }
 
     pub fn stage_shape(&self, sid: ShuffleId) -> Option<(usize, usize)> {
-        self.inner
-            .lock()
-            .stages
+        self.stages
+            .read()
             .get(&sid)
             .map(|s| (s.num_map_parts, s.num_reduce_parts))
     }
@@ -129,26 +157,69 @@ impl ShuffleManager {
         &self,
         sid: ShuffleId,
     ) -> Option<Arc<dyn Fn(usize, &TaskCtx<'_>) + Send + Sync>> {
-        self.inner
-            .lock()
-            .stages
+        self.stages
+            .read()
             .get(&sid)
             .map(|s| Arc::clone(&s.run_map_task))
     }
 
+    /// Everything the scheduler needs to materialize `sid`, in one
+    /// snapshot: one stage-registry read plus one pass over the output
+    /// shards.
+    pub fn stage_info(&self, sid: ShuffleId) -> Option<ShuffleStageInfo> {
+        let (num_map_parts, num_reduce_parts, runner) = {
+            let stages = self.stages.read();
+            let stage = stages.get(&sid)?;
+            (
+                stage.num_map_parts,
+                stage.num_reduce_parts,
+                Arc::clone(&stage.run_map_task),
+            )
+        };
+        Some(ShuffleStageInfo {
+            num_map_parts,
+            num_reduce_parts,
+            missing_map_parts: self.missing_in(sid, num_map_parts),
+            run_map_task: runner,
+        })
+    }
+
+    /// Map partitions of `sid` in `0..num_map_parts` with no stored
+    /// output, ascending — one lock per shard, not per partition.
+    fn missing_in(&self, sid: ShuffleId, num_map_parts: usize) -> Vec<usize> {
+        let mut by_shard: [Vec<usize>; SHUFFLE_SHARDS] = Default::default();
+        for m in 0..num_map_parts {
+            by_shard[shard_index(sid, m)].push(m);
+        }
+        let mut missing = Vec::new();
+        for (shard, parts) in self.shards.iter().zip(&by_shard) {
+            if parts.is_empty() {
+                continue;
+            }
+            let g = shard.lock();
+            missing.extend(
+                parts
+                    .iter()
+                    .copied()
+                    .filter(|&m| !g.contains_key(&(sid, m))),
+            );
+        }
+        missing.sort_unstable();
+        missing
+    }
+
     /// Map partitions whose output is currently absent.
     pub fn missing_map_parts(&self, sid: ShuffleId) -> Vec<usize> {
-        let g = self.inner.lock();
-        let Some(stage) = g.stages.get(&sid) else {
-            return Vec::new();
-        };
-        (0..stage.num_map_parts)
-            .filter(|&m| !g.outputs.contains_key(&(sid, m)))
-            .collect()
+        match self.stage_shape(sid) {
+            Some((maps, _)) => self.missing_in(sid, maps),
+            None => Vec::new(),
+        }
     }
 
     pub fn has_map_output(&self, sid: ShuffleId, map_part: usize) -> bool {
-        self.inner.lock().outputs.contains_key(&(sid, map_part))
+        self.shards[shard_index(sid, map_part)]
+            .lock()
+            .contains_key(&(sid, map_part))
     }
 
     /// Store one map task's buckets (one per reduce partition).
@@ -159,9 +230,8 @@ impl ShuffleManager {
         buckets: Vec<Bucket>,
         node: NodeId,
     ) {
-        self.inner
+        self.shards[shard_index(sid, map_part)]
             .lock()
-            .outputs
             .insert((sid, map_part), MapOutput { buckets, node });
     }
 
@@ -173,44 +243,90 @@ impl ShuffleManager {
         map_part: usize,
         reduce_part: usize,
     ) -> Option<Bucket> {
-        self.inner
+        self.shards[shard_index(sid, map_part)]
             .lock()
-            .outputs
             .get(&(sid, map_part))
             .map(|o| o.buckets[reduce_part].clone())
     }
 
+    /// Batch fetch for a reducer: the `reduce_part` bucket of every map
+    /// partition in `0..num_map_parts`, with one pass over the lock
+    /// shards instead of one lock round-trip per map partition. A `None`
+    /// entry means that map output is missing (lost or not yet produced)
+    /// and the caller must recover it.
+    pub fn get_buckets(
+        &self,
+        sid: ShuffleId,
+        reduce_part: usize,
+        num_map_parts: usize,
+    ) -> Vec<Option<Bucket>> {
+        let mut by_shard: [Vec<usize>; SHUFFLE_SHARDS] = Default::default();
+        for m in 0..num_map_parts {
+            by_shard[shard_index(sid, m)].push(m);
+        }
+        let mut out: Vec<Option<Bucket>> = (0..num_map_parts).map(|_| None).collect();
+        for (shard, parts) in self.shards.iter().zip(&by_shard) {
+            if parts.is_empty() {
+                continue;
+            }
+            let g = shard.lock();
+            for &m in parts {
+                out[m] = g.get(&(sid, m)).map(|o| o.buckets[reduce_part].clone());
+            }
+        }
+        out
+    }
+
     /// Drop every map output resident on `node`. Returns how many.
     pub fn drop_node(&self, node: NodeId) -> usize {
-        let mut g = self.inner.lock();
-        let before = g.outputs.len();
-        g.outputs.retain(|_, o| o.node != node);
-        before - g.outputs.len()
+        let mut dropped = 0;
+        for shard in &self.shards {
+            let mut g = shard.lock();
+            let before = g.len();
+            g.retain(|_, o| o.node != node);
+            dropped += before - g.len();
+        }
+        dropped
     }
 
     /// Drop one arbitrary map output (fault injection). Deterministic
     /// choice: the smallest `(sid, map_part)` key. Returns the dropped
     /// output's identity, if any output existed.
     pub fn drop_one(&self) -> Option<(ShuffleId, usize)> {
-        let mut g = self.inner.lock();
-        let victim = g.outputs.keys().min().copied()?;
-        g.outputs.remove(&victim);
-        Some(victim)
+        loop {
+            let victim = self
+                .shards
+                .iter()
+                .filter_map(|s| s.lock().keys().min().copied())
+                .min()?;
+            // Concurrent removal between scan and re-lock is possible;
+            // retry until the chosen victim is actually ours to drop.
+            if self.shards[shard_index(victim.0, victim.1)]
+                .lock()
+                .remove(&victim)
+                .is_some()
+            {
+                return Some(victim);
+            }
+        }
     }
 
     /// Total bytes held across all buckets (diagnostics).
     pub fn stored_bytes(&self) -> u64 {
-        self.inner
-            .lock()
-            .outputs
-            .values()
-            .flat_map(|o| o.buckets.iter().map(|b| b.bytes))
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .values()
+                    .flat_map(|o| o.buckets.iter().map(|b| b.bytes))
+                    .sum::<u64>()
+            })
             .sum()
     }
 
     /// Number of registered stages (diagnostics / leak tests).
     pub fn num_registered(&self) -> usize {
-        self.inner.lock().stages.len()
+        self.stages.read().len()
     }
 }
 

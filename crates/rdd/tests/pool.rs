@@ -1,0 +1,142 @@
+//! Behavior of the persistent executor pool through the public engine
+//! API: thread reuse across thousands of tiny stages, clean shutdown on
+//! engine drop, panic propagation, and the event-stream invariants under
+//! per-stage batched emission.
+
+use std::sync::Arc;
+
+use sparkscore_cluster::ClusterSpec;
+use sparkscore_rdd::{Engine, EngineEvent, EventListener, MemoryEventListener, PoolDiagnostics};
+
+fn engine_with_threads(threads: usize) -> Arc<Engine> {
+    Engine::builder(ClusterSpec::test_small(3))
+        .host_threads(threads)
+        .build()
+}
+
+#[test]
+fn ten_thousand_tiny_stages_reuse_one_thread_set() {
+    let engine = engine_with_threads(4);
+    let diag = engine.pool_diagnostics();
+    let data = engine
+        .parallelize((0..64u64).collect::<Vec<_>>(), 1)
+        .cache();
+    assert_eq!(data.count(), 64); // materialize the cache
+    for i in 0..10_000u64 {
+        // Result order/content must hold on every iteration.
+        let total: u64 = data.reduce(|a, b| a + b).expect("non-empty");
+        assert_eq!(total, 64 * 63 / 2, "iteration {i}");
+    }
+    // The pool spawns its workers once at build; ten thousand stages must
+    // not create a single extra thread (the seed spawned per stage).
+    assert_eq!(
+        diag.threads_spawned(),
+        engine.host_threads() - 1,
+        "workers are spawned exactly once, at engine build"
+    );
+    assert_eq!(diag.threads_alive(), engine.host_threads() - 1);
+}
+
+#[test]
+fn multi_task_stages_return_results_in_partition_order() {
+    let engine = engine_with_threads(4);
+    for _ in 0..200 {
+        let out = engine
+            .parallelize((0..100u64).collect::<Vec<_>>(), 25)
+            .map(|x| x * 3)
+            .collect();
+        assert_eq!(out, (0..100u64).map(|x| x * 3).collect::<Vec<_>>());
+    }
+}
+
+#[test]
+fn engine_drop_joins_all_pool_workers() {
+    let diag: PoolDiagnostics = {
+        let engine = engine_with_threads(6);
+        let diag = engine.pool_diagnostics();
+        assert_eq!(engine.parallelize(vec![1u32; 10], 5).count(), 10);
+        assert_eq!(diag.threads_alive(), 5);
+        engine.pool_diagnostics()
+    };
+    assert_eq!(
+        diag.threads_alive(),
+        0,
+        "engine drop must join every pool worker"
+    );
+    assert_eq!(diag.threads_spawned(), 5);
+}
+
+#[test]
+fn task_panic_propagates_and_pool_survives() {
+    let engine = engine_with_threads(4);
+    let diag = engine.pool_diagnostics();
+    let boom = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        engine
+            .parallelize((0..16u64).collect::<Vec<_>>(), 8)
+            .map(|x| {
+                assert!(x != 11, "injected task failure");
+                x
+            })
+            .collect();
+    }));
+    assert!(boom.is_err(), "task panic must propagate to the driver");
+    // The pool must survive a panicking stage: same workers, still usable.
+    assert_eq!(diag.threads_alive(), 3);
+    assert_eq!(
+        engine
+            .parallelize((0..32u64).collect::<Vec<_>>(), 8)
+            .count(),
+        32
+    );
+    assert_eq!(diag.threads_spawned(), 3, "no respawn after a panic");
+}
+
+#[test]
+fn batched_emission_keeps_stage_event_invariants() {
+    let mem = Arc::new(MemoryEventListener::new());
+    let engine = Engine::builder(ClusterSpec::test_small(3))
+        .host_threads(4)
+        .listener(Arc::clone(&mem) as Arc<dyn EventListener>)
+        .build();
+    let pairs: Vec<(u64, u64)> = (0..200).map(|i| (i % 10, i)).collect();
+    let summed = engine.parallelize(pairs, 4).reduce_by_key(4, |a, b| a + b);
+    assert_eq!(summed.collect().len(), 10);
+
+    let events = mem.snapshot();
+    // Per stage: TaskStart/TaskEnd strictly between Submitted and
+    // Completed, starts pair with ends, and counts match num_tasks.
+    let mut open: Option<(u64, usize, usize, usize)> = None; // (stage, num_tasks, starts, ends)
+    let mut stages_seen = 0;
+    for e in &events {
+        match e {
+            EngineEvent::StageSubmitted {
+                stage, num_tasks, ..
+            } => {
+                assert!(open.is_none(), "stages must not interleave");
+                open = Some((*stage, *num_tasks, 0, 0));
+            }
+            EngineEvent::TaskStart { stage, .. } => {
+                let s = open.as_mut().expect("TaskStart outside a stage");
+                assert_eq!(s.0, *stage);
+                s.2 += 1;
+                assert_eq!(s.2, s.3 + 1, "each start immediately precedes its end");
+            }
+            EngineEvent::TaskEnd { stage, .. } => {
+                let s = open.as_mut().expect("TaskEnd outside a stage");
+                assert_eq!(s.0, *stage);
+                s.3 += 1;
+            }
+            EngineEvent::StageCompleted { stage, .. } => {
+                let (open_stage, num_tasks, starts, ends) =
+                    open.take().expect("StageCompleted without StageSubmitted");
+                assert_eq!(open_stage, *stage);
+                assert_eq!(starts, num_tasks);
+                assert_eq!(ends, num_tasks);
+                stages_seen += 1;
+            }
+            _ => {}
+        }
+    }
+    assert!(open.is_none(), "every stage closed");
+    assert_eq!(stages_seen, 2, "shuffle map stage + result stage");
+}

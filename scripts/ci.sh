@@ -30,4 +30,12 @@ report="$(cargo run --release -p sparkscore-obs --bin trace -- report "$log")"
 dot="$(cargo run --release -p sparkscore-obs --bin trace -- dot "$log")"
 [ -n "$dot" ] || { echo "trace smoke: empty dot output" >&2; exit 1; }
 
+echo "== hotpath smoke: microbench runs and emits parseable JSON =="
+hotpath_json="$events_dir/BENCH_hotpath_smoke.json"
+cargo run --release -p sparkscore-bench --bin hotpath -- \
+    --tiny-b 50 --shuffle-rounds 3 --scan-rounds 10 --out "$hotpath_json" > /dev/null
+[ -s "$hotpath_json" ] || { echo "hotpath smoke: no JSON at $hotpath_json" >&2; exit 1; }
+grep -q '"speedup_vs_spawn"' "$hotpath_json" \
+    || { echo "hotpath smoke: JSON missing speedup_vs_spawn" >&2; exit 1; }
+
 echo "CI gate passed."
