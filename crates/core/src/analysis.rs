@@ -23,11 +23,12 @@ use rand::SeedableRng;
 use sparkscore_data::io::{
     parse_genotype_line, parse_phenotypes_text, parse_set_line, parse_weight_line,
 };
-use sparkscore_data::{DatasetPaths, GwasDataset};
+use sparkscore_data::{DatasetPaths, GenotypeBlock, GwasDataset};
 use sparkscore_dfs::DfsError;
 use sparkscore_rdd::{Broadcast, Dataset, Engine};
 use sparkscore_stats::resample::{mc_weights, random_permutation};
 use sparkscore_stats::score::ScoreModel;
+use sparkscore_stats::scratch;
 use sparkscore_stats::skat::SnpSet;
 
 use crate::model::{Model, Phenotype};
@@ -109,8 +110,10 @@ pub struct SparkScoreContext {
     model: Model,
     /// `(snp, weight)` pairs — joined against `ω²U²` every pass.
     weights_rdd: Dataset<(u64, f64)>,
-    /// Filtered genotype matrix: rows of SNPs that appear in some set.
-    fgm: Dataset<(u64, Vec<u8>)>,
+    /// Filtered genotype matrix: SNPs that appear in some set, 2-bit
+    /// packed column-major per partition (4 dosages per byte, so cached
+    /// partitions charge the LRU budget a quarter of the byte layout).
+    fgm: Dataset<GenotypeBlock>,
     /// Dense `snp id → set id` lookup, broadcast to tasks.
     snp_to_set: Broadcast<Vec<u64>>,
     /// Dense `snp id → weight` table, present under
@@ -217,7 +220,10 @@ impl SparkScoreContext {
         }
 
         let union_bc = engine.broadcast(union);
-        let fgm = gm.filter(move |(snp, _)| union_bc.value().binary_search(snp).is_ok());
+        let num_patients = phenotype.num_patients();
+        let fgm = gm
+            .filter(move |(snp, _)| union_bc.value().binary_search(snp).is_ok())
+            .map_partitions(move |_, rows| vec![GenotypeBlock::from_rows(num_patients, rows)]);
         let snp_to_set = engine.broadcast(snp_to_set);
         let mut set_ids: Vec<u64> = sets.iter().map(|s| s.id).collect();
         set_ids.sort_unstable();
@@ -265,12 +271,29 @@ impl SparkScoreContext {
     }
 
     /// The `U` RDD (Algorithm 1 step 7): per-SNP per-patient contributions
-    /// under `model_bc`.
+    /// under `model_bc`. Each task unpacks genotype columns into a
+    /// thread-local scratch slice and runs the allocation-free kernel,
+    /// reporting kernel rows and scratch reuses to the task metrics.
     fn u_rdd(&self, model_bc: &Broadcast<Model>) -> Dataset<(u64, Vec<f64>)> {
         let model = model_bc.clone();
-        let cost = self.num_patients() as f64 * JVM_UNITS_SCORE_PER_PATIENT;
-        self.fgm
-            .map_with_cost(cost, move |(snp, g)| (snp, model.value().contributions(&g)))
+        let n = self.num_patients();
+        self.fgm.map_partitions_ctx(move |ctx, _, blocks| {
+            let mut out = Vec::new();
+            for block in blocks {
+                ctx.add_work(block.num_snps(), n as f64 * JVM_UNITS_SCORE_PER_PATIENT);
+                scratch::with_u8(n, |g| {
+                    for c in 0..block.num_snps() {
+                        block.unpack_into(c, g);
+                        let mut contrib = vec![0.0; n];
+                        model.value().contributions_into(g, &mut contrib);
+                        out.push((block.snp_id(c), contrib));
+                    }
+                });
+                ctx.add_kernel_rows((block.num_snps() * n) as u64);
+            }
+            ctx.add_scratch_reuses(scratch::take_reuses());
+            out
+        })
     }
 
     /// Algorithm 1 steps 8–12 on a `U` RDD: inner sums (optionally with

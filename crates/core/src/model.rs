@@ -97,12 +97,12 @@ impl ScoreModel for Model {
         }
     }
 
-    fn contributions(&self, g: &[u8]) -> Vec<f64> {
+    fn contributions_into(&self, g: &[u8], out: &mut [f64]) {
         match self {
-            Model::Cox(m) => m.contributions(g),
-            Model::Gaussian(m) => m.contributions(g),
-            Model::AdjustedGaussian(m) => m.contributions(g),
-            Model::Binomial(m) => m.contributions(g),
+            Model::Cox(m) => m.contributions_into(g, out),
+            Model::Gaussian(m) => m.contributions_into(g, out),
+            Model::AdjustedGaussian(m) => m.contributions_into(g, out),
+            Model::Binomial(m) => m.contributions_into(g, out),
         }
     }
 }

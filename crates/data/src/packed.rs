@@ -1,0 +1,263 @@
+//! Columnar 2-bit-packed genotype storage.
+//!
+//! A [`GenotypeBlock`] holds one partition's SNPs column-major: each SNP's
+//! patient vector is a contiguous run of `ceil(n/4)` bytes, four dosages
+//! per byte (PLINK-style). Codes 0/1/2 are dosages;
+//! [`MISSING_DOSAGE`] (`0b11`) marks a missing call — the convention is
+//! defined once, in `sparkscore_stats::score`, and shared by packer and
+//! kernels.
+//!
+//! Byte genotypes (`Vec<u8>`, one byte per call) cost 4× the memory the
+//! information content needs; since the cached `U`-contribution pipeline
+//! keeps genotype partitions in the LRU block cache, that waste directly
+//! evicts other partitions. The packed block's `EstimateSize` is exact, so
+//! the cache budget reflects real bytes.
+
+use sparkscore_rdd::EstimateSize;
+use sparkscore_stats::score::MISSING_DOSAGE;
+
+/// One partition of SNPs, 2-bit-packed column-major.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenotypeBlock {
+    num_patients: usize,
+    /// Bytes per SNP column: `ceil(num_patients / 4)`.
+    stride: usize,
+    /// SNP identifiers, one per column.
+    ids: Vec<u64>,
+    /// Column-major packed dosages; SNP `c` occupies
+    /// `data[c * stride .. (c + 1) * stride]`, patient `i` in bits
+    /// `2·(i % 4)` of byte `i / 4`.
+    data: Vec<u8>,
+}
+
+impl GenotypeBlock {
+    /// An empty block for a cohort of `num_patients`.
+    pub fn new(num_patients: usize) -> Self {
+        GenotypeBlock {
+            num_patients,
+            stride: num_patients.div_ceil(4),
+            ids: Vec::new(),
+            data: Vec::new(),
+        }
+    }
+
+    /// Pack a slice of `(snp_id, byte dosages)` rows.
+    pub fn from_rows(num_patients: usize, rows: &[(u64, Vec<u8>)]) -> Self {
+        let mut block = GenotypeBlock::new(num_patients);
+        block.ids.reserve(rows.len());
+        block.data.reserve(rows.len() * block.stride);
+        for (id, dosages) in rows {
+            block.push_row(*id, dosages);
+        }
+        block
+    }
+
+    /// Append one SNP column. Accepts dosages 0/1/2 and the
+    /// [`MISSING_DOSAGE`] code; panics on anything larger (those values
+    /// were previously accepted silently and scored as huge dosages).
+    pub fn push_row(&mut self, id: u64, dosages: &[u8]) {
+        assert_eq!(
+            dosages.len(),
+            self.num_patients,
+            "genotype vector length mismatch"
+        );
+        assert!(
+            dosages.iter().all(|&d| d <= MISSING_DOSAGE),
+            "dosage out of range: 2-bit packing holds 0/1/2 and the missing code {MISSING_DOSAGE}"
+        );
+        self.ids.push(id);
+        let mut chunks = dosages.chunks_exact(4);
+        for quad in chunks.by_ref() {
+            self.data
+                .push(quad[0] | quad[1] << 2 | quad[2] << 4 | quad[3] << 6);
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut byte = 0u8;
+            for (i, &d) in rest.iter().enumerate() {
+                byte |= d << (2 * i);
+            }
+            self.data.push(byte);
+        }
+    }
+
+    #[inline]
+    pub fn num_snps(&self) -> usize {
+        self.ids.len()
+    }
+
+    #[inline]
+    pub fn num_patients(&self) -> usize {
+        self.num_patients
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    #[inline]
+    pub fn snp_id(&self, col: usize) -> u64 {
+        self.ids[col]
+    }
+
+    #[inline]
+    pub fn snp_ids(&self) -> &[u64] {
+        &self.ids
+    }
+
+    /// Packed payload size in bytes (excluding ids and header).
+    #[inline]
+    pub fn packed_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Dosage of patient `i` at SNP column `col` (0/1/2 or
+    /// [`MISSING_DOSAGE`]).
+    #[inline]
+    pub fn dosage(&self, col: usize, i: usize) -> u8 {
+        assert!(i < self.num_patients, "patient index out of range");
+        let byte = self.data[col * self.stride + i / 4];
+        (byte >> (2 * (i % 4))) & 0b11
+    }
+
+    /// Unpack SNP column `col` into `out` (length `num_patients`) — the
+    /// kernel-facing path, normally fed a thread-local scratch slice.
+    pub fn unpack_into(&self, col: usize, out: &mut [u8]) {
+        assert_eq!(
+            out.len(),
+            self.num_patients,
+            "output vector length mismatch"
+        );
+        let column = &self.data[col * self.stride..(col + 1) * self.stride];
+        let mut quads = out.chunks_exact_mut(4);
+        let mut bytes = column.iter();
+        for quad in quads.by_ref() {
+            let b = *bytes.next().expect("stride covers all full quads");
+            quad[0] = b & 0b11;
+            quad[1] = (b >> 2) & 0b11;
+            quad[2] = (b >> 4) & 0b11;
+            quad[3] = b >> 6;
+        }
+        let rest = quads.into_remainder();
+        if !rest.is_empty() {
+            let b = *bytes.next().expect("stride covers the remainder");
+            for (i, o) in rest.iter_mut().enumerate() {
+                *o = (b >> (2 * i)) & 0b11;
+            }
+        }
+    }
+
+    /// Iterate `(snp_id, unpacked dosages)` rows — the round-trip /
+    /// interop view (allocates one `Vec` per row; hot paths use
+    /// [`GenotypeBlock::unpack_into`]).
+    pub fn rows(&self) -> impl Iterator<Item = (u64, Vec<u8>)> + '_ {
+        (0..self.num_snps()).map(|c| {
+            let mut out = vec![0u8; self.num_patients];
+            self.unpack_into(c, &mut out);
+            (self.ids[c], out)
+        })
+    }
+}
+
+impl EstimateSize for GenotypeBlock {
+    /// Exact heap footprint — the LRU cache budget pays for real packed
+    /// bytes, not the 4×-inflated byte-per-call representation.
+    fn estimate_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.data.capacity()
+            + self.ids.capacity() * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn round_trip(n: usize, rows: &[(u64, Vec<u8>)]) {
+        let block = GenotypeBlock::from_rows(n, rows);
+        assert_eq!(block.num_snps(), rows.len());
+        assert_eq!(block.num_patients(), n);
+        let back: Vec<(u64, Vec<u8>)> = block.rows().collect();
+        assert_eq!(back, rows);
+        for (c, (_, dosages)) in rows.iter().enumerate() {
+            for (i, &d) in dosages.iter().enumerate() {
+                assert_eq!(block.dosage(c, i), d, "col {c} patient {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn round_trips_awkward_patient_counts() {
+        // 0, 1, 3, 4, 5, 64, 65: empty, sub-byte, byte-exact, byte+1.
+        for n in [0usize, 1, 3, 4, 5, 64, 65] {
+            let rows: Vec<(u64, Vec<u8>)> = (0..3)
+                .map(|r| (r as u64 * 7, (0..n).map(|i| ((i + r) % 4) as u8).collect()))
+                .collect();
+            round_trip(n, &rows);
+        }
+    }
+
+    #[test]
+    fn empty_block_round_trips() {
+        round_trip(17, &[]);
+        assert!(GenotypeBlock::new(17).is_empty());
+    }
+
+    #[test]
+    fn packs_four_dosages_per_byte() {
+        let block = GenotypeBlock::from_rows(9, &[(1, vec![0, 1, 2, 3, 0, 1, 2, 3, 2])]);
+        // 9 patients → 3 bytes per column.
+        assert_eq!(block.packed_bytes(), 3);
+        assert_eq!(block.dosage(0, 3), MISSING_DOSAGE);
+        assert_eq!(block.dosage(0, 8), 2);
+    }
+
+    #[test]
+    fn estimate_size_reflects_packed_bytes() {
+        let n = 1000;
+        let rows: Vec<(u64, Vec<u8>)> = (0..8).map(|r| (r, vec![1u8; n])).collect();
+        let block = GenotypeBlock::from_rows(n, &rows);
+        let bytes = block.estimate_bytes();
+        // 8 columns × 250 packed bytes + ids + header — far below the
+        // 8 × 1000 B the byte representation would charge.
+        assert!(bytes >= 8 * 250, "underestimates: {bytes}");
+        assert!(
+            bytes < 8 * 1000 / 2,
+            "packed block should be ~4x smaller: {bytes}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "dosage out of range")]
+    fn rejects_unpackable_dosage() {
+        GenotypeBlock::from_rows(2, &[(0, vec![0, 4])]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_ragged_rows() {
+        GenotypeBlock::from_rows(3, &[(0, vec![0, 1])]);
+    }
+
+    proptest! {
+        /// Pack/unpack round-trips all dosage values including the missing
+        /// code, at arbitrary cohort sizes and row counts.
+        #[test]
+        fn prop_pack_unpack_round_trip(
+            n in 0usize..130,
+            raw in proptest::collection::vec(
+                (any::<u64>(), proptest::collection::vec(0u8..4, 0..130)),
+                0..6,
+            )
+        ) {
+            let rows: Vec<(u64, Vec<u8>)> = raw.into_iter()
+                .map(|(id, mut d)| { d.resize(n, MISSING_DOSAGE); (id, d) })
+                .collect();
+            let block = GenotypeBlock::from_rows(n, &rows);
+            let back: Vec<(u64, Vec<u8>)> = block.rows().collect();
+            prop_assert_eq!(back, rows);
+        }
+    }
+}

@@ -142,6 +142,17 @@ pub fn report(trace: &ExecutionTrace) -> String {
     out.push_str("\n== cache ==\n");
     out.push_str(&cache_roi_line(&cache_roi(trace)));
     out.push('\n');
+
+    out.push_str("\n== kernels ==\n");
+    let (kernel_wall, total_wall) = trace.kernel_wall_split_ns();
+    out.push_str(&format!(
+        "kernel rows={} scratch reuses={} kernel-task wall={} ({} of {} total wall)\n",
+        trace.total_kernel_rows(),
+        trace.total_scratch_reuses(),
+        fmt_ns(kernel_wall),
+        percent(kernel_wall, total_wall),
+        fmt_ns(total_wall),
+    ));
     out
 }
 
@@ -251,6 +262,8 @@ mod tests {
         assert!(a.contains("chain: 0[ShuffleMap] -> 1[Result]"), "{a}");
         assert!(a.contains("cache ROI: hits=7 misses=5"), "{a}");
         assert!(a.contains("map-reruns=1 faults=1"), "{a}");
+        assert!(a.contains("== kernels =="), "{a}");
+        assert!(a.contains("kernel rows=2000 scratch reuses=4"), "{a}");
     }
 
     #[test]

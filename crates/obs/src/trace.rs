@@ -62,6 +62,21 @@ impl TraceStage {
     pub fn cache_misses(&self) -> u64 {
         self.tasks.iter().map(|t| t.cache_misses).sum()
     }
+
+    /// SNP × patient cells pushed through the score kernels.
+    pub fn kernel_rows(&self) -> u64 {
+        self.tasks.iter().map(|t| t.kernel_rows).sum()
+    }
+
+    /// Kernel calls served from reused thread-local scratch.
+    pub fn scratch_reuses(&self) -> u64 {
+        self.tasks.iter().map(|t| t.scratch_reuses).sum()
+    }
+
+    /// Measured host wall time summed over this stage's tasks.
+    pub fn total_wall_ns(&self) -> u64 {
+        self.tasks.iter().map(|t| t.wall_ns).sum()
+    }
 }
 
 /// One job: its virtual interval and the stages it submitted, in order.
@@ -236,6 +251,30 @@ impl ExecutionTrace {
     pub fn total_input_bytes(&self) -> u64 {
         self.stages.iter().map(TraceStage::input_bytes).sum()
     }
+
+    pub fn total_kernel_rows(&self) -> u64 {
+        self.stages.iter().map(TraceStage::kernel_rows).sum()
+    }
+
+    pub fn total_scratch_reuses(&self) -> u64 {
+        self.stages.iter().map(TraceStage::scratch_reuses).sum()
+    }
+
+    /// Host wall time of tasks that reported kernel work vs all tasks —
+    /// the kernel-vs-engine attribution `trace report` prints.
+    pub fn kernel_wall_split_ns(&self) -> (u64, u64) {
+        let mut kernel = 0;
+        let mut total = 0;
+        for s in &self.stages {
+            for t in &s.tasks {
+                total += t.wall_ns;
+                if t.kernel_rows > 0 {
+                    kernel += t.wall_ns;
+                }
+            }
+        }
+        (kernel, total)
+    }
 }
 
 /// A two-job stream used by this crate's tests: job 0 has a shuffle-map
@@ -278,11 +317,19 @@ mod tests {
             },
             EngineEvent::TaskEnd {
                 stage: 0,
-                metrics: task(0, 4_000, 0, 2),
+                metrics: TaskMetrics {
+                    kernel_rows: 1_200,
+                    scratch_reuses: 3,
+                    ..task(0, 4_000, 0, 2)
+                },
             },
             EngineEvent::TaskEnd {
                 stage: 0,
-                metrics: task(1, 9_000, 0, 2),
+                metrics: TaskMetrics {
+                    kernel_rows: 800,
+                    scratch_reuses: 1,
+                    ..task(1, 9_000, 0, 2)
+                },
             },
             EngineEvent::StageCompleted {
                 job: Some(0),
@@ -390,6 +437,11 @@ mod tests {
         assert_eq!(s0.critical_task().unwrap().partition, 1);
         assert_eq!(s0.total_task_ns(), 13_000);
         assert_eq!(s0.cache_misses(), 4);
+        assert_eq!(s0.kernel_rows(), 2_000);
+        assert_eq!(s0.scratch_reuses(), 4);
+        assert_eq!(trace.total_kernel_rows(), 2_000);
+        // Only stage 0's tasks reported kernel work: 2000 + 4500 wall ns.
+        assert_eq!(trace.kernel_wall_split_ns().0, 6_500);
         // The internal stage belongs to no job.
         assert_eq!(trace.stage(3).unwrap().job, None);
         assert_eq!(trace.job_stages(0).len(), 2);

@@ -26,6 +26,8 @@ pub struct TaskCtx<'a> {
     cache_hits: Cell<u64>,
     cache_misses: Cell<u64>,
     recomputed: Cell<u64>,
+    kernel_rows: Cell<u64>,
+    scratch_reuses: Cell<u64>,
     preferred: RefCell<Vec<NodeId>>,
 }
 
@@ -42,6 +44,8 @@ impl<'a> TaskCtx<'a> {
             cache_hits: Cell::new(0),
             cache_misses: Cell::new(0),
             recomputed: Cell::new(0),
+            kernel_rows: Cell::new(0),
+            scratch_reuses: Cell::new(0),
             preferred: RefCell::new(Vec::new()),
         }
     }
@@ -102,6 +106,20 @@ impl<'a> TaskCtx<'a> {
         self.recomputed.set(self.recomputed.get() + 1);
     }
 
+    /// Record `n` kernel rows processed (SNP × patient cells for the score
+    /// kernels) — lets trace reports attribute kernel vs engine time.
+    #[inline]
+    pub fn add_kernel_rows(&self, n: u64) {
+        self.kernel_rows.set(self.kernel_rows.get() + n);
+    }
+
+    /// Record `n` thread-local scratch-buffer reuses (kernel calls served
+    /// without touching the allocator).
+    #[inline]
+    pub fn add_scratch_reuses(&self, n: u64) {
+        self.scratch_reuses.set(self.scratch_reuses.get() + n);
+    }
+
     /// Declare that running on `node` would make this task's reads local
     /// (input block replica or cached block location).
     pub fn add_preferred(&self, node: NodeId) {
@@ -143,6 +161,14 @@ impl<'a> TaskCtx<'a> {
 
     pub fn recomputed(&self) -> u64 {
         self.recomputed.get()
+    }
+
+    pub fn kernel_rows(&self) -> u64 {
+        self.kernel_rows.get()
+    }
+
+    pub fn scratch_reuses(&self) -> u64 {
+        self.scratch_reuses.get()
     }
 
     /// Measured host execution time so far, nanoseconds.

@@ -17,7 +17,7 @@ use sparkscore_dfs::DfsError;
 use crate::engine::{Engine, OpGuard};
 use crate::meta::{DepMeta, OpMeta};
 use crate::ops::narrow::{
-    CoalesceOp, FilterOp, FlatMapOp, MapOp, MapPartitionsOp, SampleOp, UnionOp,
+    CoalesceOp, FilterOp, FlatMapOp, MapOp, MapPartitionsCtxOp, MapPartitionsOp, SampleOp, UnionOp,
 };
 use crate::ops::shuffled::{Aggregator, CoGroupOp, ShuffledOp};
 use crate::ops::source::{ParallelizeOp, TextFileOp};
@@ -222,6 +222,33 @@ impl<T: Data> Dataset<T> {
         Dataset {
             engine: Arc::clone(&self.engine),
             op: Arc::new(MapPartitionsOp::new(
+                id,
+                guard,
+                Arc::clone(&self.op),
+                Arc::new(f),
+            )),
+        }
+    }
+
+    /// Like [`Dataset::map_partitions`], but `f` also receives the task
+    /// context — for kernel operators that charge their own cost model and
+    /// report kernel counters ([`crate::TaskCtx::add_kernel_rows`],
+    /// [`crate::TaskCtx::add_scratch_reuses`]). No default work is
+    /// charged; the closure is responsible for `ctx.add_work`.
+    pub fn map_partitions_ctx<U: Data>(
+        &self,
+        f: impl Fn(&crate::TaskCtx<'_>, usize, &[T]) -> Vec<U> + Send + Sync + 'static,
+    ) -> Dataset<U> {
+        let (id, guard) = register_op(
+            &self.engine,
+            "mapPartitions",
+            self.num_partitions(),
+            self.narrow_dep(),
+            vec![],
+        );
+        Dataset {
+            engine: Arc::clone(&self.engine),
+            op: Arc::new(MapPartitionsCtxOp::new(
                 id,
                 guard,
                 Arc::clone(&self.op),

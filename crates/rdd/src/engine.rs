@@ -403,6 +403,8 @@ impl Engine {
                     cache_hits: ctx.cache_hits(),
                     cache_misses: ctx.cache_misses(),
                     recomputed_partitions: ctx.recomputed(),
+                    kernel_rows: ctx.kernel_rows(),
+                    scratch_reuses: ctx.scratch_reuses(),
                     ..TaskMetrics::default()
                 });
                 Metrics::bump(&self.metrics.tasks);

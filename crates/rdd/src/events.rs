@@ -92,6 +92,12 @@ pub struct TaskMetrics {
     /// Misses on blocks that were previously resident — lineage recovery
     /// recomputed data that had been cached and lost.
     pub recomputed_partitions: u64,
+    /// Kernel rows processed (SNP × patient cells pushed through the
+    /// score kernels) — attributes task time to numeric kernels vs engine.
+    pub kernel_rows: u64,
+    /// Kernel calls served from a pre-existing thread-local scratch
+    /// buffer (no allocator traffic).
+    pub scratch_reuses: u64,
 }
 
 impl TaskMetrics {
@@ -192,6 +198,10 @@ fn get_bool(v: &Value, key: &str) -> Result<bool, serde_json::Error> {
         .ok_or_else(|| raise(format!("field {key:?} is not a bool")))
 }
 
+fn get_u64_or(v: &Value, key: &str, default: u64) -> Result<u64, serde_json::Error> {
+    Ok(get_opt_u64(v, key)?.unwrap_or(default))
+}
+
 fn get_opt_u64(v: &Value, key: &str) -> Result<Option<u64>, serde_json::Error> {
     match v.get(key) {
         None => Ok(None),
@@ -227,6 +237,8 @@ impl TaskMetrics {
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "recomputed_partitions": self.recomputed_partitions,
+            "kernel_rows": self.kernel_rows,
+            "scratch_reuses": self.scratch_reuses,
         })
     }
 
@@ -247,6 +259,9 @@ impl TaskMetrics {
             cache_hits: get_u64(v, "cache_hits")?,
             cache_misses: get_u64(v, "cache_misses")?,
             recomputed_partitions: get_u64(v, "recomputed_partitions")?,
+            // Absent in event logs written before kernel accounting.
+            kernel_rows: get_u64_or(v, "kernel_rows", 0)?,
+            scratch_reuses: get_u64_or(v, "scratch_reuses", 0)?,
         })
     }
 }
@@ -655,6 +670,8 @@ pub struct StageSummary {
     pub cache_hits: u64,
     pub cache_misses: u64,
     pub recomputed_partitions: u64,
+    pub kernel_rows: u64,
+    pub scratch_reuses: u64,
     pub makespan_ns: u64,
     pub local_reads: usize,
 }
@@ -743,6 +760,8 @@ impl StageSummaryListener {
                 s.cache_hits += metrics.cache_hits;
                 s.cache_misses += metrics.cache_misses;
                 s.recomputed_partitions += metrics.recomputed_partitions;
+                s.kernel_rows += metrics.kernel_rows;
+                s.scratch_reuses += metrics.scratch_reuses;
             }),
             EngineEvent::StageCompleted {
                 stage,
@@ -939,6 +958,8 @@ pub struct RegistryListener {
     cache_evictions_pressure: Arc<Counter>,
     cache_evictions_other: Arc<Counter>,
     recomputed_partitions: Arc<Counter>,
+    kernel_rows: Arc<Counter>,
+    scratch_reuses: Arc<Counter>,
     shuffle_map_reruns: Arc<Counter>,
     faults_injected: Arc<Counter>,
     running_jobs: Arc<Gauge>,
@@ -986,6 +1007,14 @@ impl RegistryListener {
             recomputed_partitions: c(
                 "sparkscore_recomputed_partitions_total",
                 "Previously-cached partitions recomputed from lineage",
+            ),
+            kernel_rows: c(
+                "sparkscore_kernel_rows_total",
+                "SNP x patient cells processed by the score kernels",
+            ),
+            scratch_reuses: c(
+                "sparkscore_scratch_reuses_total",
+                "Kernel calls served from a reused thread-local scratch buffer",
             ),
             shuffle_map_reruns: c(
                 "sparkscore_shuffle_map_reruns_total",
@@ -1054,6 +1083,8 @@ impl EventListener for RegistryListener {
                 self.cache_misses.add(metrics.cache_misses);
                 self.recomputed_partitions
                     .add(metrics.recomputed_partitions);
+                self.kernel_rows.add(metrics.kernel_rows);
+                self.scratch_reuses.add(metrics.scratch_reuses);
                 self.task_virtual_ns.observe(metrics.virtual_runtime_ns());
                 self.task_wall_ns.observe(metrics.wall_ns);
             }
@@ -1107,6 +1138,8 @@ mod tests {
                     cache_hits: 1,
                     cache_misses: 1,
                     recomputed_partitions: 1,
+                    kernel_rows: 640,
+                    scratch_reuses: 5,
                 },
             },
             EngineEvent::StageCompleted {

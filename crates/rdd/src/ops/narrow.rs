@@ -196,6 +196,53 @@ impl<T: Data, U: Data> Op<U> for MapPartitionsOp<T, U> {
     }
 }
 
+/// `map_partitions_ctx`: whole-partition transform whose closure also
+/// receives the [`TaskCtx`], so kernel-style operators can charge their
+/// own work model and report kernel counters (rows processed, scratch
+/// reuses). Unlike [`MapPartitionsOp`] no default work is charged — the
+/// closure owns the accounting.
+pub struct MapPartitionsCtxOp<T: Data, U: Data> {
+    id: OpId,
+    parent: Arc<dyn Op<T>>,
+    f: Arc<dyn Fn(&TaskCtx<'_>, usize, &[T]) -> Vec<U> + Send + Sync>,
+    _guard: OpGuard,
+}
+
+impl<T: Data, U: Data> MapPartitionsCtxOp<T, U> {
+    pub(crate) fn new(
+        id: OpId,
+        guard: OpGuard,
+        parent: Arc<dyn Op<T>>,
+        f: Arc<dyn Fn(&TaskCtx<'_>, usize, &[T]) -> Vec<U> + Send + Sync>,
+    ) -> Self {
+        MapPartitionsCtxOp {
+            id,
+            parent,
+            f,
+            _guard: guard,
+        }
+    }
+}
+
+impl<T: Data, U: Data> Op<U> for MapPartitionsCtxOp<T, U> {
+    fn id(&self) -> OpId {
+        self.id
+    }
+
+    fn num_partitions(&self) -> usize {
+        self.parent.num_partitions()
+    }
+
+    fn compute(&self, part: usize, ctx: &TaskCtx<'_>) -> Vec<U> {
+        let input = materialize(&self.parent, part, ctx);
+        (self.f)(ctx, part, &input)
+    }
+
+    fn name(&self) -> &str {
+        "mapPartitions"
+    }
+}
+
 /// `sample`: keep each record independently with probability `fraction`,
 /// deterministically per (seed, partition) — no external RNG dependency,
 /// a SplitMix64 stream suffices for Bernoulli thinning.

@@ -266,6 +266,8 @@ fn every_event_variant() -> Vec<EngineEvent> {
                 cache_hits: 7,
                 cache_misses: 8,
                 recomputed_partitions: 9,
+                kernel_rows: 10,
+                scratch_reuses: 11,
             },
         },
         EngineEvent::TaskEnd {

@@ -67,18 +67,24 @@ impl ScoreModel for AdjustedGaussianScore {
         self.residuals.len()
     }
 
-    fn contributions(&self, g: &[u8]) -> Vec<f64> {
+    fn contributions_into(&self, g: &[u8], out: &mut [f64]) {
         assert_eq!(
             g.len(),
             self.residuals.len(),
             "genotype vector length mismatch"
         );
+        assert_eq!(
+            out.len(),
+            self.residuals.len(),
+            "output vector length mismatch"
+        );
+        crate::score::debug_assert_dosages(g);
+        // The projection solve allocates internally (O(n·p) temporaries);
+        // only the three unadjusted models promise an allocation-free path.
         let g_res = self.genotype_residual(g);
-        self.residuals
-            .iter()
-            .zip(&g_res)
-            .map(|(r, gr)| r * gr)
-            .collect()
+        for ((o, r), gr) in out.iter_mut().zip(&self.residuals).zip(&g_res) {
+            *o = r * gr;
+        }
     }
 }
 

@@ -51,10 +51,14 @@ pub mod pvalue;
 pub mod qc;
 pub mod resample;
 pub mod score;
+pub mod scratch;
 pub mod skat;
 pub mod special;
 
 pub use covariates::AdjustedGaussianScore;
-pub use resample::{monte_carlo, observed_scores, observed_skat, permutation, ResamplingResult};
-pub use score::{BinomialScore, CoxScore, GaussianScore, ScoreModel, Survival};
+pub use resample::{
+    monte_carlo, monte_carlo_blocked, monte_carlo_per_iteration, observed_scores, observed_skat,
+    permutation, ResamplingResult, MC_TILE,
+};
+pub use score::{BinomialScore, CoxScore, GaussianScore, ScoreModel, Survival, MISSING_DOSAGE};
 pub use skat::{burden_statistic, skat_all, skat_statistic, SnpSet};

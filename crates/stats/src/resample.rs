@@ -17,9 +17,16 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
 use crate::dist::sample_standard_normal;
+use crate::linalg::perturb_scores_blocked;
 use crate::pvalue::empirical_pvalue;
 use crate::score::ScoreModel;
 use crate::skat::{skat_all, SnpSet};
+
+/// Default replicate-tile width K for the blocked Monte Carlo kernel:
+/// each pass over the cached contribution matrix serves K replicates.
+/// 32 keeps a 256-patient × K multiplier tile at 64 KiB (L1/L2-resident)
+/// while amortizing the `U` stream 32×.
+pub const MC_TILE: usize = 32;
 
 /// A full resampling analysis result.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,9 +61,18 @@ pub fn mc_weights<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<f64> {
     (0..n).map(|_| sample_standard_normal(rng)).collect()
 }
 
-/// Observed per-SNP scores `U_j` (Algorithm 1's marginal pass).
+/// Observed per-SNP scores `U_j` (Algorithm 1's marginal pass). One
+/// contribution buffer is reused across SNPs via the allocation-free
+/// kernel path.
 pub fn observed_scores<M: ScoreModel>(model: &M, genotype_rows: &[Vec<u8>]) -> Vec<f64> {
-    genotype_rows.iter().map(|g| model.score(g)).collect()
+    let mut buf = vec![0.0f64; model.num_patients()];
+    genotype_rows
+        .iter()
+        .map(|g| {
+            model.contributions_into(g, &mut buf);
+            buf.iter().sum()
+        })
+        .collect()
 }
 
 /// Observed SKAT statistics per set (Algorithm 1 end-to-end).
@@ -71,7 +87,9 @@ pub fn observed_skat<M: ScoreModel>(
 }
 
 /// Algorithm 3 (Monte Carlo): perturb the observed contributions with
-/// standard-normal multipliers for `B` replicates.
+/// standard-normal multipliers for `B` replicates. Runs the blocked
+/// kernel at the default tile width [`MC_TILE`]; results are bitwise
+/// identical to [`monte_carlo_per_iteration`] for any tile width.
 pub fn monte_carlo<M: ScoreModel>(
     model: &M,
     genotype_rows: &[Vec<u8>],
@@ -80,8 +98,94 @@ pub fn monte_carlo<M: ScoreModel>(
     num_replicates: usize,
     seed: u64,
 ) -> ResamplingResult {
+    monte_carlo_blocked(
+        model,
+        genotype_rows,
+        weights,
+        sets,
+        num_replicates,
+        seed,
+        MC_TILE,
+    )
+}
+
+/// Blocked Algorithm 3: replicates are processed in tiles of `tile`
+/// multiplier vectors against the flat contribution matrix
+/// ([`perturb_scores_blocked`]), so `U` is streamed from memory once per
+/// `tile` replicates instead of once per replicate. The multiplier RNG
+/// stream, per-replicate perturbed scores, SKAT statistics, and
+/// exceedance counts are all bitwise identical to the per-iteration path.
+#[allow(clippy::too_many_arguments)]
+pub fn monte_carlo_blocked<M: ScoreModel>(
+    model: &M,
+    genotype_rows: &[Vec<u8>],
+    weights: &[f64],
+    sets: &[SnpSet],
+    num_replicates: usize,
+    seed: u64,
+    tile: usize,
+) -> ResamplingResult {
+    assert!(tile > 0, "tile width must be positive");
     let n = model.num_patients();
-    // The "cached U RDD": per-SNP per-patient contributions, computed once.
+    let m = genotype_rows.len();
+    // The "cached U RDD" as one flat row-major m × n matrix, built through
+    // the allocation-free kernel (one write slice per SNP, no temporaries).
+    let mut contribs = vec![0.0f64; m * n];
+    for (g, row) in genotype_rows.iter().zip(contribs.chunks_exact_mut(n)) {
+        model.contributions_into(g, row);
+    }
+    let scores: Vec<f64> = contribs.chunks_exact(n).map(|c| c.iter().sum()).collect();
+    let observed = skat_all(&scores, weights, sets);
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut counts = vec![0usize; sets.len()];
+    let mut z_tile = vec![0.0f64; n * tile];
+    let mut tile_out = vec![0.0f64; m * tile];
+    let mut perturbed = vec![0.0f64; m];
+    let mut done = 0;
+    while done < num_replicates {
+        let k = tile.min(num_replicates - done);
+        // Draw the tile's multipliers replicate-by-replicate — the same
+        // draw order as the per-iteration path — transposed into the
+        // patient-major layout the kernel wants.
+        for kk in 0..k {
+            for (i, zi) in mc_weights(&mut rng, n).into_iter().enumerate() {
+                z_tile[i * k + kk] = zi;
+            }
+        }
+        perturb_scores_blocked(&contribs, m, n, &z_tile[..n * k], k, &mut tile_out[..m * k]);
+        for kk in 0..k {
+            for (j, p) in perturbed.iter_mut().enumerate() {
+                *p = tile_out[j * k + kk];
+            }
+            let replicate = skat_all(&perturbed, weights, sets);
+            for (s, (&rep, &obs)) in replicate.iter().zip(&observed).enumerate() {
+                if rep >= obs {
+                    counts[s] += 1;
+                }
+            }
+        }
+        done += k;
+    }
+    ResamplingResult {
+        observed,
+        counts_ge: counts,
+        num_replicates,
+    }
+}
+
+/// The pre-blocking Algorithm 3 reference: one full pass over the cached
+/// contributions per replicate. Kept as the oracle the blocked kernel is
+/// tested (and benchmarked) against.
+pub fn monte_carlo_per_iteration<M: ScoreModel>(
+    model: &M,
+    genotype_rows: &[Vec<u8>],
+    weights: &[f64],
+    sets: &[SnpSet],
+    num_replicates: usize,
+    seed: u64,
+) -> ResamplingResult {
+    let n = model.num_patients();
     let contribs: Vec<Vec<f64>> = genotype_rows
         .iter()
         .map(|g| model.contributions(g))
@@ -191,6 +295,23 @@ mod tests {
         let res = monte_carlo(&model, &rows, &weights, &sets, 10, 42);
         assert_eq!(res.observed, observed_skat(&model, &rows, &weights, &sets));
         assert_eq!(res.num_replicates, 10);
+    }
+
+    #[test]
+    fn mc_blocked_is_bitwise_identical_to_per_iteration() {
+        // Any tile width — including 1, a width that doesn't divide B, and
+        // the default — must reproduce the per-iteration path exactly
+        // (same RNG stream, same statistics, same counts).
+        let (model, rows, weights, sets) = tiny_cohort();
+        let reference = monte_carlo_per_iteration(&model, &rows, &weights, &sets, 101, 42);
+        for tile in [1, 3, MC_TILE] {
+            let blocked = monte_carlo_blocked(&model, &rows, &weights, &sets, 101, 42, tile);
+            assert_eq!(blocked, reference, "tile={tile}");
+        }
+        assert_eq!(
+            monte_carlo(&model, &rows, &weights, &sets, 101, 42),
+            reference
+        );
     }
 
     #[test]

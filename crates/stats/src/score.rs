@@ -8,6 +8,29 @@
 //! Wald or likelihood-ratio tests, none of these require per-SNP numerical
 //! optimization — the property that makes the method "efficient".
 
+use crate::scratch;
+
+/// The missing-dosage marker in the 2-bit packed genotype encoding
+/// (`0b11`). This is the single definition of the convention: packed
+/// storage ([`GenotypeBlock`](../../sparkscore_data/packed/index.html))
+/// uses codes 0/1/2 for dosages and this code for missing calls, and the
+/// unpacked kernel paths debug-assert that missing values were imputed
+/// away before scoring.
+pub const MISSING_DOSAGE: u8 = 3;
+
+/// Debug-build check that a genotype slice contains only real dosages
+/// (0/1/2). Values `>= MISSING_DOSAGE` were historically accepted
+/// silently and scored as if they were huge dosages; every unpacked
+/// kernel path now routes through this assertion.
+#[inline]
+pub fn debug_assert_dosages(g: &[u8]) {
+    debug_assert!(
+        g.iter().all(|&d| d < MISSING_DOSAGE),
+        "dosage out of range: kernels accept 0/1/2; code {MISSING_DOSAGE} marks a missing \
+         call in packed storage and must be imputed before scoring"
+    );
+}
+
 /// A censored survival observation `(Y_i, Δ_i)`: observed time and whether
 /// it was an event (`true`) or censoring (`false`).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -32,9 +55,20 @@ impl Survival {
 pub trait ScoreModel: Send + Sync {
     fn num_patients(&self) -> usize;
 
-    /// Per-patient contributions `U_ij` for genotype vector `g` (dosages
-    /// 0/1/2, one entry per patient). Panics if `g.len()` mismatches.
-    fn contributions(&self, g: &[u8]) -> Vec<f64>;
+    /// Allocation-free kernel: write the per-patient contributions `U_ij`
+    /// for genotype vector `g` (dosages 0/1/2, one entry per patient) into
+    /// `out`. Panics if `g.len()` or `out.len()` mismatches
+    /// `num_patients()`. This is the hot path — implementations must not
+    /// allocate for the three primary models.
+    fn contributions_into(&self, g: &[u8], out: &mut [f64]);
+
+    /// Per-patient contributions `U_ij`, allocating the output vector.
+    /// Convenience wrapper over [`ScoreModel::contributions_into`].
+    fn contributions(&self, g: &[u8]) -> Vec<f64> {
+        let mut out = vec![0.0; self.num_patients()];
+        self.contributions_into(g, &mut out);
+        out
+    }
 
     /// The marginal score `U_j = Σ_i U_ij`.
     fn score(&self, g: &[u8]) -> f64 {
@@ -43,10 +77,16 @@ pub trait ScoreModel: Send + Sync {
 }
 
 /// Sum and empirical variance (`Σ U_ij²`) of a contribution vector — the
-/// ingredients of the asymptotic test `U²/V ~ χ²₁`.
+/// ingredients of the asymptotic test `U²/V ~ χ²₁`. Single pass: it runs
+/// once per SNP per iteration.
+#[inline]
 pub fn score_and_variance(contribs: &[f64]) -> (f64, f64) {
-    let u: f64 = contribs.iter().sum();
-    let v: f64 = contribs.iter().map(|c| c * c).sum();
+    let mut u = 0.0f64;
+    let mut v = 0.0f64;
+    for &c in contribs {
+        u += c;
+        v += c * c;
+    }
     (u, v)
 }
 
@@ -103,10 +143,30 @@ impl CoxScore {
     /// The model after shuffling the phenotype pairs with `perm`
     /// (patient `i` receives phenotype `perm[i]`): permutation resampling's
     /// per-replicate model (Algorithm 2).
+    ///
+    /// O(n): the time multiset is permutation-invariant, so the shuffled
+    /// model's descending order is the existing order relabeled through the
+    /// inverse permutation, and `b_i` for new patient `i` is the old `b` of
+    /// the patient whose phenotype it received. No re-sort per replicate.
+    /// (Patients tied on time may appear in a different relative order than
+    /// a fresh sort would produce; `rank_end` always lands on a tie-group
+    /// boundary, so every risk set sums the same values — contributions
+    /// agree with a freshly built model up to FP summation order.)
     pub fn permuted(&self, perm: &[usize]) -> CoxScore {
-        assert_eq!(perm.len(), self.phenotypes.len());
+        let n = self.phenotypes.len();
+        assert_eq!(perm.len(), n);
         let shuffled: Vec<Survival> = perm.iter().map(|&p| self.phenotypes[p]).collect();
-        CoxScore::new(&shuffled)
+        let mut inv_perm = vec![0usize; n];
+        for (i, &p) in perm.iter().enumerate() {
+            inv_perm[p] = i;
+        }
+        let order: Vec<usize> = self.order.iter().map(|&o| inv_perm[o]).collect();
+        let rank_end: Vec<usize> = (0..n).map(|i| self.rank_end[perm[i]]).collect();
+        CoxScore {
+            phenotypes: shuffled,
+            order,
+            rank_end,
+        }
     }
 
     pub fn phenotypes(&self) -> &[Survival] {
@@ -119,28 +179,29 @@ impl ScoreModel for CoxScore {
         self.phenotypes.len()
     }
 
-    fn contributions(&self, g: &[u8]) -> Vec<f64> {
+    fn contributions_into(&self, g: &[u8], out: &mut [f64]) {
         let n = self.phenotypes.len();
         assert_eq!(g.len(), n, "genotype vector length mismatch");
-        // prefix[k] = sum of genotypes of the k patients with largest times.
-        let mut prefix = Vec::with_capacity(n + 1);
-        prefix.push(0.0f64);
-        let mut acc = 0.0f64;
-        for &idx in &self.order {
-            acc += f64::from(g[idx]);
-            prefix.push(acc);
-        }
-        (0..n)
-            .map(|i| {
-                if self.phenotypes[i].event {
+        assert_eq!(out.len(), n, "output vector length mismatch");
+        debug_assert_dosages(g);
+        // prefix[k] = sum of genotypes of the k patients with largest times,
+        // built in thread-local scratch (reused across tasks on a worker).
+        scratch::with_f64(n + 1, |prefix| {
+            let mut acc = 0.0f64;
+            for (p, &idx) in prefix[1..].iter_mut().zip(&self.order) {
+                acc += f64::from(g[idx]);
+                *p = acc;
+            }
+            for (i, o) in out.iter_mut().enumerate() {
+                *o = if self.phenotypes[i].event {
                     let b = self.rank_end[i] as f64;
                     let a = prefix[self.rank_end[i]];
                     f64::from(g[i]) - a / b
                 } else {
                     0.0
-                }
-            })
-            .collect()
+                };
+            }
+        });
     }
 }
 
@@ -207,24 +268,30 @@ impl ScoreModel for GaussianScore {
         self.residuals.len()
     }
 
-    fn contributions(&self, g: &[u8]) -> Vec<f64> {
+    fn contributions_into(&self, g: &[u8], out: &mut [f64]) {
         assert_eq!(
             g.len(),
             self.residuals.len(),
             "genotype vector length mismatch"
         );
-        centered_residual_contributions(&self.residuals, g)
+        centered_residual_contributions_into(&self.residuals, g, out);
     }
 }
 
 /// `U_ij = r_i (G_ij − Ḡ_j)` — shared by the Gaussian and binomial models.
-fn centered_residual_contributions(residuals: &[f64], g: &[u8]) -> Vec<f64> {
-    let g_mean = g.iter().map(|&x| f64::from(x)).sum::<f64>() / g.len() as f64;
-    residuals
-        .iter()
-        .zip(g)
-        .map(|(r, &gi)| r * (f64::from(gi) - g_mean))
-        .collect()
+///
+/// The dosage sum is accumulated in `u64` (dosages are small integers, so
+/// the `f64` conversion is exact and equals the sequential float sum
+/// bitwise) and the write-out loop is a straight slice zip — both shapes
+/// the autovectorizer handles.
+fn centered_residual_contributions_into(residuals: &[f64], g: &[u8], out: &mut [f64]) {
+    assert_eq!(out.len(), residuals.len(), "output vector length mismatch");
+    debug_assert_dosages(g);
+    let g_sum: u64 = g.iter().map(|&x| u64::from(x)).sum();
+    let g_mean = g_sum as f64 / g.len() as f64;
+    for ((o, r), &gi) in out.iter_mut().zip(residuals).zip(g) {
+        *o = r * (f64::from(gi) - g_mean);
+    }
 }
 
 // ---------------- Binomial ----------------
@@ -259,13 +326,13 @@ impl ScoreModel for BinomialScore {
         self.residuals.len()
     }
 
-    fn contributions(&self, g: &[u8]) -> Vec<f64> {
+    fn contributions_into(&self, g: &[u8], out: &mut [f64]) {
         assert_eq!(
             g.len(),
             self.residuals.len(),
             "genotype vector length mismatch"
         );
-        centered_residual_contributions(&self.residuals, g)
+        centered_residual_contributions_into(&self.residuals, g, out);
     }
 }
 
@@ -397,6 +464,33 @@ mod tests {
         let _ = model.contributions(&[1, 2, 3]);
     }
 
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn contributions_into_output_length_checked() {
+        let model = GaussianScore::new(&[1.0, 2.0]);
+        let mut out = vec![0.0; 3];
+        model.contributions_into(&[1, 2], &mut out);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "dosage out of range")]
+    fn missing_dosage_rejected_by_unpacked_kernels() {
+        let model = GaussianScore::new(&[1.0, 2.0, 3.0]);
+        let _ = model.contributions(&[0, MISSING_DOSAGE, 1]);
+    }
+
+    /// The pre-`contributions_into` float summation order, kept as a
+    /// bitwise oracle for the centered-residual kernel's integer sum.
+    fn centered_naive(residuals: &[f64], g: &[u8]) -> Vec<f64> {
+        let g_mean = g.iter().map(|&x| f64::from(x)).sum::<f64>() / g.len() as f64;
+        residuals
+            .iter()
+            .zip(g)
+            .map(|(r, &gi)| r * (f64::from(gi) - g_mean))
+            .collect()
+    }
+
     proptest! {
         /// The O(n) Cox implementation agrees with the O(n²) definition on
         /// arbitrary phenotypes (with ties and censoring) and genotypes.
@@ -437,6 +531,74 @@ mod tests {
             let c2 = CoxScore::new(&ph2).contributions(&g2);
             for (i, &p) in perm.iter().enumerate() {
                 prop_assert!((c2[i] - c1[p]).abs() < 1e-9);
+            }
+        }
+
+        /// `contributions_into` is bitwise-identical to the allocating
+        /// `contributions` path and matches the reference formulas on
+        /// random cohorts, for all three models.
+        #[test]
+        fn prop_into_equals_contributions_all_models(
+            raw in proptest::collection::vec(
+                (0u8..20, any::<bool>(), 0u8..3, -50.0f64..50.0, any::<bool>()),
+                1..50,
+            )
+        ) {
+            let n = raw.len();
+            let ph: Vec<Survival> = raw.iter()
+                .map(|&(t, e, _, _, _)| Survival { time: f64::from(t) / 2.0, event: e })
+                .collect();
+            let g: Vec<u8> = raw.iter().map(|&(_, _, d, _, _)| d).collect();
+            let y: Vec<f64> = raw.iter().map(|&(_, _, _, v, _)| v).collect();
+            let cases: Vec<bool> = raw.iter().map(|&(_, _, _, _, c)| c).collect();
+
+            let cox = CoxScore::new(&ph);
+            let gauss = GaussianScore::new(&y);
+            let binom = BinomialScore::new(&cases);
+
+            let mut out = vec![f64::NAN; n];
+            cox.contributions_into(&g, &mut out);
+            prop_assert_eq!(&out, &cox.contributions(&g));
+            let naive = cox_contributions_naive(&ph, &g);
+            for (a, b) in out.iter().zip(&naive) {
+                prop_assert!((a - b).abs() < 1e-9, "cox {a} vs naive {b}");
+            }
+
+            gauss.contributions_into(&g, &mut out);
+            prop_assert_eq!(&out, &gauss.contributions(&g));
+            prop_assert_eq!(&out, &centered_naive(&gauss.residuals, &g));
+
+            binom.contributions_into(&g, &mut out);
+            prop_assert_eq!(&out, &binom.contributions(&g));
+            prop_assert_eq!(&out, &centered_naive(&binom.residuals, &g));
+        }
+
+        /// The O(n) `permuted` agrees with rebuilding from the shuffled
+        /// phenotypes (up to FP summation order within time ties).
+        #[test]
+        fn prop_cox_permuted_equals_fresh_sort(
+            raw in proptest::collection::vec((0u8..20, any::<bool>(), 0u8..3), 2..40),
+            seed in any::<u64>()
+        ) {
+            use rand::seq::SliceRandom;
+            use rand::SeedableRng;
+            // Coarse times force ties, the case where the relabeled order
+            // can differ from a fresh sort.
+            let ph: Vec<Survival> = raw.iter()
+                .map(|&(t, e, _)| Survival { time: f64::from(t) / 4.0, event: e })
+                .collect();
+            let g: Vec<u8> = raw.iter().map(|&(_, _, d)| d).collect();
+            let model = CoxScore::new(&ph);
+            let mut perm: Vec<usize> = (0..raw.len()).collect();
+            perm.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+            let fast = model.permuted(&perm);
+            let shuffled: Vec<Survival> = perm.iter().map(|&p| ph[p]).collect();
+            let fresh = CoxScore::new(&shuffled);
+            prop_assert_eq!(&fast.rank_end, &fresh.rank_end);
+            let a = fast.contributions(&g);
+            let b = fresh.contributions(&g);
+            for (x, y) in a.iter().zip(&b) {
+                prop_assert!((x - y).abs() < 1e-9, "{x} vs {y}");
             }
         }
 

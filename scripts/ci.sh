@@ -38,4 +38,13 @@ cargo run --release -p sparkscore-bench --bin hotpath -- \
 grep -q '"speedup_vs_spawn"' "$hotpath_json" \
     || { echo "hotpath smoke: JSON missing speedup_vs_spawn" >&2; exit 1; }
 
+echo "== kernels smoke: packed/blocked kernels match references and emit JSON =="
+kernels_json="$events_dir/BENCH_kernels_smoke.json"
+cargo run --release -p sparkscore-bench --bin kernels -- \
+    --patients 200 --snps 64 --replicates 40 --tile 8 --passes 2 \
+    --out "$kernels_json" > /dev/null
+[ -s "$kernels_json" ] || { echo "kernels smoke: no JSON at $kernels_json" >&2; exit 1; }
+grep -q '"blocked_speedup"' "$kernels_json" \
+    || { echo "kernels smoke: JSON missing blocked_speedup" >&2; exit 1; }
+
 echo "CI gate passed."
