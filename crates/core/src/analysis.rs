@@ -279,18 +279,20 @@ impl SparkScoreContext {
         let n = self.num_patients();
         self.fgm.map_partitions_ctx(move |ctx, _, blocks| {
             let mut out = Vec::new();
-            for block in blocks {
-                ctx.add_work(block.num_snps(), n as f64 * JVM_UNITS_SCORE_PER_PATIENT);
-                scratch::with_u8(n, |g| {
-                    for c in 0..block.num_snps() {
-                        block.unpack_into(c, g);
-                        let mut contrib = vec![0.0; n];
-                        model.value().contributions_into(g, &mut contrib);
-                        out.push((block.snp_id(c), contrib));
-                    }
-                });
-                ctx.add_kernel_rows((block.num_snps() * n) as u64);
-            }
+            ctx.time_span("kernel:contributions", || {
+                for block in blocks {
+                    ctx.add_work(block.num_snps(), n as f64 * JVM_UNITS_SCORE_PER_PATIENT);
+                    scratch::with_u8(n, |g| {
+                        for c in 0..block.num_snps() {
+                            block.unpack_into(c, g);
+                            let mut contrib = vec![0.0; n];
+                            model.value().contributions_into(g, &mut contrib);
+                            out.push((block.snp_id(c), contrib));
+                        }
+                    });
+                    ctx.add_kernel_rows((block.num_snps() * n) as u64);
+                }
+            });
             ctx.add_scratch_reuses(scratch::take_reuses());
             out
         })

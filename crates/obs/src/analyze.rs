@@ -298,6 +298,27 @@ mod tests {
     }
 
     #[test]
+    fn nearest_rank_degenerate_samples() {
+        // One element: every percentile is that element, so p99/p50 skew
+        // must come out exactly 1.0 for single-task stages.
+        assert_eq!(nearest_rank(&[42], 1), 42);
+        assert_eq!(nearest_rank(&[42], 50), 42);
+        assert_eq!(nearest_rank(&[42], 100), 42);
+        // All-equal samples: any rank picks the shared value.
+        let flat = [9u64; 16];
+        assert_eq!(nearest_rank(&flat, 50), 9);
+        assert_eq!(nearest_rank(&flat, 99), 9);
+        assert_eq!(ratio(nearest_rank(&flat, 99), nearest_rank(&flat, 50)), 1.0);
+        // Two elements: p50 is the lower, p99 the upper (nearest-rank,
+        // not interpolated).
+        assert_eq!(nearest_rank(&[10, 90], 50), 10);
+        assert_eq!(nearest_rank(&[10, 90], 99), 90);
+        // Rank never reads past the end even at pct 100.
+        let v: Vec<u64> = (1..=3).collect();
+        assert_eq!(nearest_rank(&v, 100), 3);
+    }
+
+    #[test]
     fn cache_roi_totals_are_exact_sums() {
         let roi = cache_roi(&trace());
         // Stage 0: 4 misses; stage 1: 6 hits; stage 2: 1 hit + 1 miss.

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! trace report        <log.jsonl>   full digest: totals, critical paths, skew, cache ROI
+//! trace report --json <log.jsonl>   the same digest as deterministic JSON
 //! trace critical-path <log.jsonl>   per-job critical path only
 //! trace dot           <log.jsonl>   Graphviz DOT of the job/stage DAG
 //! trace diff          <a.jsonl> <b.jsonl>   compare two runs
@@ -9,10 +10,11 @@
 //!
 //! Output goes to stdout; parse/IO errors to stderr with a non-zero exit.
 
-use sparkscore_obs::{critical_path_report, diff_report, report, to_dot, ExecutionTrace};
+use sparkscore_obs::{
+    critical_path_report, diff_report, report, report_json, to_dot, ExecutionTrace,
+};
 
-const USAGE: &str =
-    "usage: trace <report|critical-path|dot> <log.jsonl>\n       trace diff <a.jsonl> <b.jsonl>";
+const USAGE: &str = "usage: trace <report|critical-path|dot> [--json] <log.jsonl>\n       trace diff <a.jsonl> <b.jsonl>";
 
 fn load(path: &str) -> ExecutionTrace {
     let text = match std::fs::read_to_string(path) {
@@ -35,6 +37,11 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let out = match args.iter().map(String::as_str).collect::<Vec<_>>()[..] {
         ["report", path] => report(&load(path)),
+        ["report", "--json", path] | ["report", path, "--json"] => {
+            let mut json = report_json(&load(path)).to_string();
+            json.push('\n');
+            json
+        }
         ["critical-path", path] => critical_path_report(&load(path)),
         ["dot", path] => to_dot(&load(path)),
         ["diff", a, b] => diff_report(a, &load(a), b, &load(b)),

@@ -31,14 +31,23 @@
 //!
 //! Every analysis is a pure function of the trace with deterministic
 //! iteration order, so output is byte-identical across invocations on the
-//! same log.
+//! same log. `report --json` (or [`report_json`]) renders the same digest
+//! as machine-readable JSON with the same determinism guarantee.
+//!
+//! All analyses also accept **partial traces** — flight-recorder dumps of
+//! an engine that is still running (jobs without `JobEnd`, stages without
+//! `StageCompleted`). [`ExecutionTrace::is_partial`] flags them, reports
+//! mark in-flight jobs, and [`ops::OpsServer`] serves such dumps (plus
+//! live metrics and pool profiles) over a line-based TCP endpoint.
 
 pub mod analyze;
 pub mod dot;
+pub mod ops;
 pub mod report;
 pub mod trace;
 
 pub use analyze::{cache_roi, critical_paths, stage_skew, CacheRoi, CriticalPath, StageSkew};
 pub use dot::to_dot;
-pub use report::{cache_roi_line, critical_path_report, diff_report, report};
-pub use trace::{ExecutionTrace, TraceJob, TraceStage};
+pub use ops::{OpsServer, OpsServerBuilder};
+pub use report::{cache_roi_line, critical_path_report, diff_report, report, report_json};
+pub use trace::{ExecutionTrace, SpanTotal, TraceJob, TraceSpan, TraceStage};

@@ -18,13 +18,14 @@ fn kind_str(kind: Option<StageKind>) -> &'static str {
     }
 }
 
-fn render_path(out: &mut String, path: &CriticalPath) {
+fn render_path(out: &mut String, path: &CriticalPath, in_flight: bool) {
     out.push_str(&format!(
-        "job {}: critical path {} over {} stage(s) (observed advance {})\n",
+        "job {}: critical path {} over {} stage(s) (observed advance {}){}\n",
         path.job,
         fmt_ns(path.path_ns),
         path.stages.len(),
         fmt_ns(path.virtual_advance_ns),
+        if in_flight { "  [in flight]" } else { "" },
     ));
     let chain: Vec<String> = path
         .stages
@@ -82,11 +83,15 @@ pub fn cache_roi_line(roi: &CacheRoi) -> String {
     )
 }
 
-/// Standalone critical-path view (`trace critical-path`).
+/// Standalone critical-path view (`trace critical-path`). Jobs that were
+/// still running when the trace was captured (a flight-recorder dump of a
+/// live engine) are marked in flight: their path is the critical path
+/// *so far*.
 pub fn critical_path_report(trace: &ExecutionTrace) -> String {
+    let open = trace.open_jobs();
     let mut out = String::new();
     for path in critical_paths(trace) {
-        render_path(&mut out, &path);
+        render_path(&mut out, &path, open.contains(&path.job));
     }
     if out.is_empty() {
         out.push_str("no jobs in log\n");
@@ -111,6 +116,15 @@ pub fn report(trace: &ExecutionTrace) -> String {
         trace.shuffle_map_reruns,
         trace.faults.len(),
     ));
+    if trace.is_partial() {
+        let open = trace.open_jobs();
+        let jobs: Vec<String> = open.iter().map(|j| j.to_string()).collect();
+        out.push_str(&format!(
+            "partial trace: {} job(s) still in flight [{}]\n",
+            open.len(),
+            jobs.join(", "),
+        ));
+    }
 
     out.push_str("\n== critical paths ==\n");
     out.push_str(&critical_path_report(trace));
@@ -153,7 +167,142 @@ pub fn report(trace: &ExecutionTrace) -> String {
         percent(kernel_wall, total_wall),
         fmt_ns(total_wall),
     ));
+
+    out.push_str("\n== spans ==\n");
+    let spans = trace.span_totals();
+    if spans.is_empty() {
+        out.push_str("no sub-task spans in log\n");
+    } else {
+        for s in &spans {
+            out.push_str(&format!(
+                "{:<24} count={:<6} total={:>9}\n",
+                s.label,
+                s.count,
+                fmt_ns(s.total_ns),
+            ));
+        }
+    }
     out
+}
+
+/// Machine-readable mirror of [`report`] (`trace report --json`).
+///
+/// Sections and ordering track the text digest; object keys are emitted in
+/// fixed insertion order and all collections derive from the same
+/// deterministic analyses, so a fixed input log serialises byte-identically.
+pub fn report_json(trace: &ExecutionTrace) -> serde_json::Value {
+    use serde_json::{json, Value};
+
+    let open = trace.open_jobs();
+    let totals = json!({
+        "jobs": trace.jobs.len() as u64,
+        "stages": trace.stages.len() as u64,
+        "tasks": trace.total_tasks() as u64,
+        "virtual_ns": trace.total_virtual_ns(),
+        "input_bytes": trace.total_input_bytes(),
+        "shuffle_read_bytes": trace.total_shuffle_read_bytes(),
+        "shuffle_write_bytes": trace.total_shuffle_write_bytes(),
+        "shuffle_map_reruns": trace.shuffle_map_reruns,
+        "faults": trace.faults.len() as u64,
+    });
+
+    let paths: Vec<Value> = critical_paths(trace)
+        .iter()
+        .map(|p| {
+            let stages: Vec<Value> = p
+                .stages
+                .iter()
+                .map(|s| {
+                    json!({
+                        "stage": s.stage,
+                        "kind": kind_str(s.kind),
+                        "num_tasks": s.num_tasks as u64,
+                        "makespan_ns": s.makespan_ns,
+                        "critical_task_ns": s.critical_task_ns,
+                        "critical_partition": s.critical_partition as u64,
+                        "slack_ns": s.slack_ns,
+                    })
+                })
+                .collect();
+            let bottleneck = p.bottleneck().map_or(Value::Null, |b| Value::from(b.stage));
+            json!({
+                "job": p.job,
+                "path_ns": p.path_ns,
+                "virtual_advance_ns": p.virtual_advance_ns,
+                "in_flight": open.contains(&p.job),
+                "bottleneck_stage": bottleneck,
+                "stages": stages,
+            })
+        })
+        .collect();
+
+    let mut skews = stage_skew(trace);
+    skews.sort_by(|a, b| {
+        b.time_skew
+            .total_cmp(&a.time_skew)
+            .then(a.stage.cmp(&b.stage))
+    });
+    let skew: Vec<Value> = skews
+        .iter()
+        .map(|s| {
+            json!({
+                "stage": s.stage,
+                "kind": kind_str(s.kind),
+                "num_tasks": s.num_tasks as u64,
+                "p50_ns": s.p50_ns,
+                "p99_ns": s.p99_ns,
+                "max_ns": s.max_ns,
+                "time_skew": s.time_skew,
+                "size_imbalance": s.size_imbalance,
+            })
+        })
+        .collect();
+
+    let roi = cache_roi(trace);
+    let hit_rate = roi.hit_rate().map_or(Value::Null, Value::from);
+    let cache = json!({
+        "hits": roi.hits,
+        "misses": roi.misses,
+        "hit_rate": hit_rate,
+        "recomputed": roi.recomputed,
+        "evictions_pressure": roi.evictions_pressure,
+        "evictions_other": roi.evictions_other,
+        "est_saved_ns": roi.est_saved_ns,
+        "est_ns_per_miss": roi.est_ns_per_miss,
+        "est_saved_bytes": roi.est_saved_bytes,
+    });
+
+    let (kernel_wall, total_wall) = trace.kernel_wall_split_ns();
+    let kernels = json!({
+        "kernel_rows": trace.total_kernel_rows(),
+        "scratch_reuses": trace.total_scratch_reuses(),
+        "kernel_task_wall_ns": kernel_wall,
+        "total_task_wall_ns": total_wall,
+    });
+
+    let spans: Vec<Value> = trace
+        .span_totals()
+        .iter()
+        .map(|s| {
+            json!({
+                "label": s.label.as_str(),
+                "count": s.count as u64,
+                "total_ns": s.total_ns,
+            })
+        })
+        .collect();
+
+    let open_jobs: Vec<Value> = open.iter().map(|&j| Value::from(j)).collect();
+    json!({
+        "totals": totals,
+        "partial": trace.is_partial(),
+        "open_jobs": open_jobs,
+        "critical_paths": paths,
+        "skew": skew,
+        "cache": cache,
+        "kernels": kernels,
+        "spans": spans,
+    })
 }
 
 fn signed_ns(a: u64, b: u64) -> String {
@@ -264,6 +413,75 @@ mod tests {
         assert!(a.contains("map-reruns=1 faults=1"), "{a}");
         assert!(a.contains("== kernels =="), "{a}");
         assert!(a.contains("kernel rows=2000 scratch reuses=4"), "{a}");
+        assert!(a.contains("== spans =="), "{a}");
+        assert!(a.contains("kernel:contributions"), "{a}");
+        assert!(
+            !a.contains("partial trace"),
+            "complete log must not be flagged partial: {a}"
+        );
+    }
+
+    /// Nested object lookup for test assertions (`Value` has no `Index`).
+    fn at<'a>(v: &'a serde_json::Value, path: &[&str]) -> &'a serde_json::Value {
+        path.iter().fold(v, |v, key| {
+            v.get(key).unwrap_or_else(|| panic!("missing key {key}"))
+        })
+    }
+
+    #[test]
+    fn partial_trace_is_flagged_in_report() {
+        let mut events = sample_stream();
+        events.truncate(11); // cut before stage 1 completes: job 0 in flight
+        let t = ExecutionTrace::from_events(&events);
+        let r = report(&t);
+        assert!(
+            r.contains("partial trace: 1 job(s) still in flight [0]"),
+            "{r}"
+        );
+        assert!(r.contains("[in flight]"), "{r}");
+    }
+
+    #[test]
+    fn report_json_is_byte_deterministic_and_mirrors_text() {
+        let t = trace();
+        let a = report_json(&t).to_string();
+        let b = report_json(&t).to_string();
+        assert_eq!(a, b, "same trace must serialise byte-identically");
+        let v = report_json(&t);
+        assert_eq!(at(&v, &["totals", "jobs"]).as_u64(), Some(2));
+        assert_eq!(at(&v, &["totals", "tasks"]).as_u64(), Some(5));
+        assert_eq!(at(&v, &["partial"]).as_bool(), Some(false));
+        assert_eq!(at(&v, &["open_jobs"]).as_array().map(<[_]>::len), Some(0));
+        let paths = at(&v, &["critical_paths"]).as_array().expect("paths array");
+        assert_eq!(paths.len(), 2);
+        assert_eq!(at(&paths[0], &["job"]).as_u64(), Some(0));
+        assert_eq!(at(&paths[0], &["in_flight"]).as_bool(), Some(false));
+        assert_eq!(
+            at(&paths[0], &["stages"]).as_array().map(<[_]>::len),
+            Some(2),
+            "two-stage chain"
+        );
+        assert_eq!(at(&v, &["cache", "hits"]).as_u64(), Some(7));
+        let spans = at(&v, &["spans"]).as_array().expect("spans array");
+        assert!(!spans.is_empty());
+        assert_eq!(
+            at(&spans[0], &["label"]).as_str(),
+            Some("kernel:contributions")
+        );
+    }
+
+    #[test]
+    fn report_json_marks_open_jobs() {
+        let mut events = sample_stream();
+        events.truncate(11);
+        let t = ExecutionTrace::from_events(&events);
+        let v = report_json(&t);
+        assert_eq!(at(&v, &["partial"]).as_bool(), Some(true));
+        let open = at(&v, &["open_jobs"]).as_array().expect("open_jobs array");
+        assert_eq!(open.len(), 1);
+        assert_eq!(open[0].as_u64(), Some(0));
+        let paths = at(&v, &["critical_paths"]).as_array().expect("paths array");
+        assert_eq!(at(&paths[0], &["in_flight"]).as_bool(), Some(true));
     }
 
     #[test]

@@ -11,6 +11,32 @@
 use sparkscore_rdd::events::parse_event_log;
 use sparkscore_rdd::{EngineEvent, FaultDetail, StageKind, TaskMetrics};
 
+/// One sub-task interval (kernel call, shuffle fetch/write, cache
+/// recompute) reported by a traced task.
+#[derive(Debug, Clone)]
+pub struct TraceSpan {
+    pub span: u64,
+    /// Parent span id (the enclosing task's span).
+    pub parent: u64,
+    pub label: String,
+    pub start_ns: u64,
+    pub end_ns: u64,
+}
+
+impl TraceSpan {
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// Wall-clock attribution of one span label across the whole trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanTotal {
+    pub label: String,
+    pub count: usize,
+    pub total_ns: u64,
+}
+
 /// One stage of the run with everything its events reported.
 #[derive(Debug, Clone, Default)]
 pub struct TraceStage {
@@ -26,6 +52,13 @@ pub struct TraceStage {
     pub local_reads: usize,
     /// Completed tasks, in the order the engine reported them.
     pub tasks: Vec<TaskMetrics>,
+    /// The stage's span id (0 on pre-span logs / untraced engines).
+    pub span: u64,
+    /// Parent (job) span id.
+    pub parent_span: u64,
+    /// Whether a `StageCompleted` was seen — `false` marks a stage still
+    /// running when a partial (flight-recorder) trace was captured.
+    pub completed: bool,
 }
 
 impl TraceStage {
@@ -95,6 +128,11 @@ pub struct TraceJob {
     pub virtual_advance_ns: u64,
     /// Stage ids in submission (= dependency) order.
     pub stages: Vec<u64>,
+    /// The job's root span id (0 on pre-span logs / untraced engines).
+    pub span: u64,
+    /// Monotonic engine clock at start / end (end `None` while running).
+    pub mono_start_ns: u64,
+    pub mono_end_ns: Option<u64>,
 }
 
 /// A full engine run reassembled from its event stream.
@@ -112,6 +150,8 @@ pub struct ExecutionTrace {
     pub shuffle_map_reruns: u64,
     /// Faults the injector actually applied.
     pub faults: Vec<FaultDetail>,
+    /// Sub-task spans in event order.
+    pub spans: Vec<TraceSpan>,
 }
 
 impl ExecutionTrace {
@@ -157,30 +197,44 @@ impl ExecutionTrace {
             EngineEvent::JobStart {
                 job,
                 virtual_now_ns,
+                span,
+                mono_ns,
             } => {
                 let j = self.job_mut(*job);
                 j.virtual_start_ns = *virtual_now_ns;
+                j.span = span.span;
+                j.mono_start_ns = *mono_ns;
             }
             EngineEvent::JobEnd {
                 job,
                 virtual_now_ns,
                 virtual_advance_ns,
+                span,
+                mono_ns,
             } => {
                 let j = self.job_mut(*job);
                 j.virtual_end_ns = Some(*virtual_now_ns);
                 j.virtual_advance_ns = *virtual_advance_ns;
+                if j.span == 0 {
+                    j.span = span.span;
+                }
+                j.mono_end_ns = Some(*mono_ns);
             }
             EngineEvent::StageSubmitted {
                 job,
                 stage,
                 kind,
                 num_tasks,
+                span,
+                ..
             } => {
                 {
                     let s = self.stage_mut(*stage);
                     s.job = *job;
                     s.kind = Some(*kind);
                     s.num_tasks = *num_tasks;
+                    s.span = span.span;
+                    s.parent_span = span.parent;
                 }
                 if let Some(job) = job {
                     let j = self.job_mut(*job);
@@ -198,11 +252,24 @@ impl ExecutionTrace {
                 let s = self.stage_mut(*stage);
                 s.makespan_ns = *makespan_ns;
                 s.local_reads = *local_reads;
+                s.completed = true;
             }
             EngineEvent::TaskStart { .. } => {}
             EngineEvent::TaskEnd { stage, metrics } => {
                 self.stage_mut(*stage).tasks.push(*metrics);
             }
+            EngineEvent::Span {
+                span,
+                label,
+                start_ns,
+                end_ns,
+            } => self.spans.push(TraceSpan {
+                span: span.span,
+                parent: span.parent,
+                label: label.clone(),
+                start_ns: *start_ns,
+                end_ns: *end_ns,
+            }),
             EngineEvent::CacheEvicted { pressure, .. } => {
                 if *pressure {
                     self.evictions_pressure += 1;
@@ -275,6 +342,47 @@ impl ExecutionTrace {
         }
         (kernel, total)
     }
+
+    /// Aggregate sub-task spans by label: count and total wall time,
+    /// largest total first (label tie-break) — deterministic.
+    pub fn span_totals(&self) -> Vec<SpanTotal> {
+        let mut by_label: std::collections::BTreeMap<&str, (usize, u64)> = Default::default();
+        for s in &self.spans {
+            let e = by_label.entry(&s.label).or_default();
+            e.0 += 1;
+            e.1 += s.duration_ns();
+        }
+        let mut totals: Vec<SpanTotal> = by_label
+            .into_iter()
+            .map(|(label, (count, total_ns))| SpanTotal {
+                label: label.to_string(),
+                count,
+                total_ns,
+            })
+            .collect();
+        totals.sort_by(|a, b| {
+            b.total_ns
+                .cmp(&a.total_ns)
+                .then_with(|| a.label.cmp(&b.label))
+        });
+        totals
+    }
+
+    /// Jobs with no `JobEnd` yet — still running when the trace was
+    /// captured (e.g. a flight-recorder dump).
+    pub fn open_jobs(&self) -> Vec<u64> {
+        self.jobs
+            .iter()
+            .filter(|j| j.virtual_end_ns.is_none())
+            .map(|j| j.job)
+            .collect()
+    }
+
+    /// Whether this trace was captured mid-run: a job is open or a
+    /// submitted stage has not completed.
+    pub fn is_partial(&self) -> bool {
+        !self.open_jobs().is_empty() || self.stages.iter().any(|s| !s.completed)
+    }
 }
 
 /// A two-job stream used by this crate's tests: job 0 has a shuffle-map
@@ -288,6 +396,7 @@ pub(crate) fn sample_stream() -> Vec<EngineEvent> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sparkscore_rdd::events::SpanContext;
 
     pub(super) fn sample_stream_impl() -> Vec<EngineEvent> {
         fn task(partition: usize, runtime: u64, hits: u64, misses: u64) -> TaskMetrics {
@@ -308,12 +417,16 @@ mod tests {
             EngineEvent::JobStart {
                 job: 0,
                 virtual_now_ns: 0,
+                span: SpanContext::root(1),
+                mono_ns: 100,
             },
             EngineEvent::StageSubmitted {
                 job: Some(0),
                 stage: 0,
                 kind: StageKind::ShuffleMap,
                 num_tasks: 2,
+                span: SpanContext { span: 2, parent: 1 },
+                mono_ns: 150,
             },
             EngineEvent::TaskEnd {
                 stage: 0,
@@ -331,18 +444,40 @@ mod tests {
                     ..task(1, 9_000, 0, 2)
                 },
             },
+            EngineEvent::Span {
+                span: SpanContext {
+                    span: 10,
+                    parent: 2,
+                },
+                label: "kernel:contributions".to_string(),
+                start_ns: 200,
+                end_ns: 1_400,
+            },
+            EngineEvent::Span {
+                span: SpanContext {
+                    span: 11,
+                    parent: 2,
+                },
+                label: "shuffle:write".to_string(),
+                start_ns: 1_400,
+                end_ns: 1_700,
+            },
             EngineEvent::StageCompleted {
                 job: Some(0),
                 stage: 0,
                 kind: StageKind::ShuffleMap,
                 makespan_ns: 10_000,
                 local_reads: 2,
+                span: SpanContext { span: 2, parent: 1 },
+                mono_ns: 2_000,
             },
             EngineEvent::StageSubmitted {
                 job: Some(0),
                 stage: 1,
                 kind: StageKind::Result,
                 num_tasks: 2,
+                span: SpanContext { span: 3, parent: 1 },
+                mono_ns: 2_050,
             },
             EngineEvent::TaskEnd {
                 stage: 1,
@@ -352,17 +487,30 @@ mod tests {
                 stage: 1,
                 metrics: task(1, 2_000, 3, 0),
             },
+            EngineEvent::Span {
+                span: SpanContext {
+                    span: 12,
+                    parent: 3,
+                },
+                label: "shuffle:fetch".to_string(),
+                start_ns: 2_100,
+                end_ns: 2_500,
+            },
             EngineEvent::StageCompleted {
                 job: Some(0),
                 stage: 1,
                 kind: StageKind::Result,
                 makespan_ns: 3_500,
                 local_reads: 0,
+                span: SpanContext { span: 3, parent: 1 },
+                mono_ns: 3_000,
             },
             EngineEvent::JobEnd {
                 job: 0,
                 virtual_now_ns: 13_500,
                 virtual_advance_ns: 13_500,
+                span: SpanContext::root(1),
+                mono_ns: 3_100,
             },
             EngineEvent::CacheEvicted {
                 op: 4,
@@ -379,12 +527,16 @@ mod tests {
             EngineEvent::JobStart {
                 job: 1,
                 virtual_now_ns: 13_500,
+                span: SpanContext::root(4),
+                mono_ns: 3_200,
             },
             EngineEvent::StageSubmitted {
                 job: Some(1),
                 stage: 2,
                 kind: StageKind::Result,
                 num_tasks: 1,
+                span: SpanContext { span: 5, parent: 4 },
+                mono_ns: 3_250,
             },
             EngineEvent::TaskEnd {
                 stage: 2,
@@ -396,17 +548,23 @@ mod tests {
                 kind: StageKind::Result,
                 makespan_ns: 1_000,
                 local_reads: 1,
+                span: SpanContext { span: 5, parent: 4 },
+                mono_ns: 4_000,
             },
             EngineEvent::JobEnd {
                 job: 1,
                 virtual_now_ns: 14_500,
                 virtual_advance_ns: 1_000,
+                span: SpanContext::root(4),
+                mono_ns: 4_100,
             },
             EngineEvent::StageSubmitted {
                 job: None,
                 stage: 3,
                 kind: StageKind::Result,
                 num_tasks: 1,
+                span: SpanContext::NONE,
+                mono_ns: 0,
             },
             EngineEvent::StageCompleted {
                 job: None,
@@ -414,6 +572,8 @@ mod tests {
                 kind: StageKind::Result,
                 makespan_ns: 7,
                 local_reads: 0,
+                span: SpanContext::NONE,
+                mono_ns: 0,
             },
         ]
     }
@@ -445,6 +605,38 @@ mod tests {
         // The internal stage belongs to no job.
         assert_eq!(trace.stage(3).unwrap().job, None);
         assert_eq!(trace.job_stages(0).len(), 2);
+
+        // Span linkage: job root → stage → sub-task spans.
+        assert_eq!(trace.jobs[0].span, 1);
+        assert_eq!(trace.jobs[0].mono_end_ns, Some(3_100));
+        assert_eq!((s0.span, s0.parent_span), (2, 1));
+        assert!(s0.completed);
+        assert_eq!(trace.spans.len(), 3);
+        assert!(!trace.is_partial(), "completed run is not partial");
+    }
+
+    #[test]
+    fn span_totals_aggregate_by_label() {
+        let totals = ExecutionTrace::from_events(&sample_stream()).span_totals();
+        assert_eq!(totals.len(), 3);
+        // kernel:contributions (1_200 ns) > shuffle:fetch (400) > write (300).
+        assert_eq!(totals[0].label, "kernel:contributions");
+        assert_eq!(totals[0].total_ns, 1_200);
+        assert_eq!(totals[0].count, 1);
+        assert_eq!(totals[1].label, "shuffle:fetch");
+        assert_eq!(totals[2].label, "shuffle:write");
+    }
+
+    #[test]
+    fn partial_trace_reports_open_jobs() {
+        let mut events = sample_stream();
+        events.truncate(11); // cut before stage 1's StageCompleted
+        let trace = ExecutionTrace::from_events(&events);
+        assert!(trace.is_partial());
+        assert_eq!(trace.open_jobs(), vec![0]);
+        let s1 = trace.stage(1).unwrap();
+        assert!(!s1.completed);
+        assert_eq!(s1.tasks.len(), 2, "finished tasks are still analyzable");
     }
 
     #[test]
@@ -463,9 +655,10 @@ mod tests {
     #[test]
     fn truncated_log_leaves_job_open() {
         let mut events = sample_stream();
-        events.truncate(9); // cut before job 0's JobEnd
+        events.truncate(12); // cut before job 0's JobEnd
         let trace = ExecutionTrace::from_events(&events);
         assert_eq!(trace.jobs[0].virtual_end_ns, None);
         assert_eq!(trace.jobs[0].virtual_advance_ns, 0);
+        assert_eq!(trace.jobs[0].mono_end_ns, None);
     }
 }

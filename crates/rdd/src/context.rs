@@ -13,12 +13,25 @@ use std::cell::{Cell, RefCell};
 use sparkscore_cluster::{CostModel, NodeId, VirtualTask};
 
 use crate::engine::Engine;
+use crate::events::SpanContext;
+
+/// One completed sub-task interval recorded through
+/// [`TaskCtx::time_span`], drained into the stage's event batch.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SpanRecord {
+    pub span: SpanContext,
+    pub label: &'static str,
+    pub start_ns: u64,
+    pub end_ns: u64,
+}
 
 /// Context for one running task.
 pub struct TaskCtx<'a> {
     engine: &'a Engine,
     partition: usize,
     started: std::time::Instant,
+    /// The task's span (zero when the engine is untraced).
+    span: SpanContext,
     work_units: Cell<f64>,
     input_bytes: Cell<u64>,
     shuffle_read_bytes: Cell<u64>,
@@ -29,14 +42,22 @@ pub struct TaskCtx<'a> {
     kernel_rows: Cell<u64>,
     scratch_reuses: Cell<u64>,
     preferred: RefCell<Vec<NodeId>>,
+    spans: RefCell<Vec<SpanRecord>>,
 }
 
 impl<'a> TaskCtx<'a> {
     pub fn new(engine: &'a Engine, partition: usize) -> Self {
+        Self::with_span(engine, partition, SpanContext::NONE)
+    }
+
+    /// A context carrying causal identity: sub-task intervals recorded via
+    /// [`TaskCtx::time_span`] are parented to `span`.
+    pub(crate) fn with_span(engine: &'a Engine, partition: usize, span: SpanContext) -> Self {
         TaskCtx {
             engine,
             partition,
             started: std::time::Instant::now(),
+            span,
             work_units: Cell::new(0.0),
             input_bytes: Cell::new(0),
             shuffle_read_bytes: Cell::new(0),
@@ -47,6 +68,7 @@ impl<'a> TaskCtx<'a> {
             kernel_rows: Cell::new(0),
             scratch_reuses: Cell::new(0),
             preferred: RefCell::new(Vec::new()),
+            spans: RefCell::new(Vec::new()),
         }
     }
 
@@ -58,6 +80,43 @@ impl<'a> TaskCtx<'a> {
     #[inline]
     pub fn partition(&self) -> usize {
         self.partition
+    }
+
+    /// The task's span context (`NONE` when the engine is untraced).
+    #[inline]
+    pub fn span(&self) -> SpanContext {
+        self.span
+    }
+
+    /// Whether this task is being traced — sub-task spans are recorded.
+    #[inline]
+    pub fn traced(&self) -> bool {
+        !self.span.is_none()
+    }
+
+    /// Time `f` as a sub-task span (kernel call, shuffle fetch, cache
+    /// recompute). On an untraced task this is a single branch and a plain
+    /// call — no clock reads, no allocation.
+    #[inline]
+    pub fn time_span<R>(&self, label: &'static str, f: impl FnOnce() -> R) -> R {
+        if self.span.is_none() {
+            return f();
+        }
+        let start_ns = self.engine.mono_ns();
+        let r = f();
+        let end_ns = self.engine.mono_ns();
+        self.spans.borrow_mut().push(SpanRecord {
+            span: self.span.child(self.engine.new_span_id()),
+            label,
+            start_ns,
+            end_ns,
+        });
+        r
+    }
+
+    /// Drain the recorded sub-task spans (stage batch emission).
+    pub(crate) fn take_spans(&self) -> Vec<SpanRecord> {
+        std::mem::take(&mut self.spans.borrow_mut())
     }
 
     /// Record `n` records of operator work at relative `weight` (1.0 = a

@@ -30,7 +30,9 @@ use sparkscore_dfs::Dfs;
 use crate::cache::CacheManager;
 use crate::context::TaskCtx;
 use crate::estimate::EstimateSize;
-use crate::events::{EngineEvent, EventBus, EventListener, FaultDetail, StageKind, TaskMetrics};
+use crate::events::{
+    EngineEvent, EventBus, EventListener, FaultDetail, SpanContext, StageKind, TaskMetrics,
+};
 use crate::meta::MetaRegistry;
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::pool::{ExecutorPool, PoolDiagnostics, TaskSlots};
@@ -177,6 +179,9 @@ impl EngineBuilder {
             next_broadcast: AtomicU64::new(0),
             next_job: AtomicU64::new(0),
             next_stage: AtomicU64::new(0),
+            // Span id 0 means "untraced": real ids start at 1.
+            next_span: AtomicU64::new(1),
+            epoch: std::time::Instant::now(),
             pool: ExecutorPool::new(host_threads),
             host_threads,
         })
@@ -202,6 +207,9 @@ pub struct Engine {
     next_broadcast: AtomicU64,
     next_job: AtomicU64,
     next_stage: AtomicU64,
+    next_span: AtomicU64,
+    /// Monotonic zero for span timestamps: engine construction time.
+    epoch: std::time::Instant,
     /// Persistent work-stealing pool; built once, reused by every stage.
     pool: ExecutorPool,
     host_threads: usize,
@@ -231,6 +239,22 @@ impl Engine {
 
     pub fn cache_budget_bytes(&self) -> u64 {
         self.cache.budget_bytes()
+    }
+
+    /// Bytes currently resident in the block cache (live gauge).
+    pub fn cache_used_bytes(&self) -> u64 {
+        self.cache.used_bytes()
+    }
+
+    /// Bytes currently held as shuffle map outputs (live gauge).
+    pub fn shuffle_stored_bytes(&self) -> u64 {
+        self.shuffle.stored_bytes()
+    }
+
+    /// Map outputs held per shuffle lock shard — occupancy skew across the
+    /// sharded store (live gauge for the pool profiler).
+    pub fn shuffle_shard_occupancy(&self) -> Vec<usize> {
+        self.shuffle.shard_occupancy()
     }
 
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
@@ -271,6 +295,27 @@ impl Engine {
     /// and injected faults.
     pub fn events(&self) -> &EventBus {
         &self.events
+    }
+
+    /// Monotonic nanoseconds since engine construction — the time base for
+    /// span start/end stamps and the ops endpoint's uptime.
+    #[inline]
+    pub fn mono_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Allocate a fresh span id (never 0 — 0 means "untraced").
+    #[inline]
+    pub(crate) fn new_span_id(&self) -> u64 {
+        self.next_span.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Allocate `n` consecutive span ids and return the first. One shared
+    /// atomic RMW per stage instead of one per task — task `i` takes
+    /// `base + i` with no cross-thread contention.
+    #[inline]
+    pub(crate) fn new_span_range(&self, n: u64) -> u64 {
+        self.next_span.fetch_add(n, Ordering::Relaxed)
     }
 
     pub(crate) fn new_op_id(&self) -> OpId {
@@ -335,16 +380,18 @@ impl Engine {
         R: Send,
         F: Fn(usize, &TaskCtx<'_>) -> R + Sync,
     {
-        self.run_stage_tagged(parts, None, StageKind::Result, f)
+        self.run_stage_tagged(parts, None, StageKind::Result, SpanContext::NONE, f)
     }
 
     /// [`Engine::run_stage`] with event attribution: the owning job (if
-    /// any) and whether this is a result or shuffle-map stage.
+    /// any), whether this is a result or shuffle-map stage, and the span
+    /// the stage runs under (the job span, or `NONE` for internal work).
     pub(crate) fn run_stage_tagged<R, F>(
         &self,
         parts: &[usize],
         job: Option<u64>,
         kind: StageKind,
+        parent_span: SpanContext,
         f: F,
     ) -> Vec<R>
     where
@@ -358,12 +405,19 @@ impl Engine {
         // mid-stage sees the next stage whole, never a torn one, and tasks
         // can read the flag without touching the bus.
         let observed = self.events.is_active();
+        let stage_span = if observed {
+            parent_span.child(self.new_span_id())
+        } else {
+            SpanContext::NONE
+        };
         if observed {
             self.events.emit(&EngineEvent::StageSubmitted {
                 job,
                 stage,
                 kind,
                 num_tasks: n,
+                span: stage_span,
+                mono_ns: self.mono_ns(),
             });
         }
         if n == 0 {
@@ -377,6 +431,8 @@ impl Engine {
                     kind,
                     makespan_ns: 0,
                     local_reads: 0,
+                    span: stage_span,
+                    mono_ns: self.mono_ns(),
                 });
             }
             return Vec::new();
@@ -385,11 +441,29 @@ impl Engine {
         // once, so the completion path takes zero locks. Panics are caught
         // and stored so every claimed slot is always written; the driver
         // re-raises the first one after the stage drains.
-        let slots: TaskSlots<std::thread::Result<(R, VirtualTask, Option<TaskMetrics>)>> =
-            TaskSlots::new(n);
+        type TaskOutcome<R> = (
+            R,
+            VirtualTask,
+            Option<TaskMetrics>,
+            Vec<crate::context::SpanRecord>,
+        );
+        let slots: TaskSlots<std::thread::Result<TaskOutcome<R>>> = TaskSlots::new(n);
+        let task_span_base = if observed {
+            self.new_span_range(n as u64)
+        } else {
+            0
+        };
         let run_task = |i: usize| {
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                let ctx = TaskCtx::new(self, parts[i]);
+                let task_span = if observed {
+                    let s = stage_span.child(task_span_base + i as u64);
+                    self.pool.note_current_span(s.span);
+                    s
+                } else {
+                    SpanContext::NONE
+                };
+                let mono_start = if observed { self.mono_ns() } else { 0 };
+                let ctx = TaskCtx::with_span(self, parts[i], task_span);
                 let r = f(parts[i], &ctx);
                 let vt = ctx.to_virtual_task(&self.cost_model);
                 // Virtual placement is only known once the whole batch is
@@ -405,11 +479,18 @@ impl Engine {
                     recomputed_partitions: ctx.recomputed(),
                     kernel_rows: ctx.kernel_rows(),
                     scratch_reuses: ctx.scratch_reuses(),
+                    span: task_span,
+                    mono_start_ns: mono_start,
+                    mono_end_ns: self.mono_ns(),
                     ..TaskMetrics::default()
                 });
+                let sub_spans = ctx.take_spans();
+                if observed {
+                    self.pool.note_current_span(0);
+                }
                 Metrics::bump(&self.metrics.tasks);
                 self.on_task_complete();
-                (r, vt, m)
+                (r, vt, m, sub_spans)
             }));
             // SAFETY: the pool hands index `i` to exactly one participant.
             unsafe { slots.write(i, outcome) };
@@ -418,29 +499,47 @@ impl Engine {
         let mut results = Vec::with_capacity(n);
         let mut vtasks = Vec::with_capacity(n);
         let mut partial = Vec::with_capacity(n);
+        let mut panic_payload = None;
         // SAFETY: `pool.run` returned, so every index was claimed, run, and
         // its slot written, with the pool's completion protocol ordering
         // those writes before this read.
         for slot in unsafe { slots.into_vec() } {
             match slot {
-                Ok((r, vt, m)) => {
+                Ok((r, vt, m, spans)) => {
                     results.push(r);
                     vtasks.push(vt);
-                    partial.push(m);
+                    partial.push((m, spans));
                 }
-                Err(payload) => std::panic::resume_unwind(payload),
+                // Drain every slot before re-raising: the whole stage ran
+                // (the pool's completion barrier), so all panics are
+                // already stored and the first is the one to propagate.
+                Err(payload) => {
+                    if panic_payload.is_none() {
+                        panic_payload = Some(payload);
+                    }
+                }
             }
+        }
+        if let Some(payload) = panic_payload {
+            // A buffered event log must not lose its tail when the panic
+            // propagates out of the engine (possibly aborting the process
+            // before any Drop flush runs): push what is buffered now.
+            self.events.flush_all();
+            std::panic::resume_unwind(payload);
         }
         let outcome = self.vsched.lock().schedule(&vtasks);
         self.vclock.advance(self.cost_model.stage_overhead_ns);
         Metrics::add(&self.metrics.input_local_reads, outcome.local_reads as u64);
         if observed {
-            // One flush per stage: TaskStart/TaskEnd pairs in partition
-            // order (outcome.tasks is index-aligned with vtasks), closed by
-            // StageCompleted — O(1) bus lock acquisitions instead of
-            // O(tasks).
-            let mut batch = Vec::with_capacity(2 * n + 1);
-            for (i, m) in partial.into_iter().enumerate() {
+            // One flush per stage: TaskEnd per task in partition order
+            // (outcome.tasks is index-aligned with vtasks), followed by
+            // any sub-task spans, closed by StageCompleted — O(1) bus
+            // lock acquisitions instead of O(tasks). No separate TaskStart
+            // marker: the batch is emitted at stage end anyway and
+            // `TaskMetrics` carries both start stamps, so a start event
+            // would double the per-task event volume for zero information.
+            let mut batch = Vec::with_capacity(n + 1);
+            for (i, (m, spans)) in partial.into_iter().enumerate() {
                 let mut m = m.expect("observed stage recorded metrics for every task");
                 m.virtual_compute_ns = vtasks[i].compute_ns;
                 let placed = &outcome.tasks[i];
@@ -449,11 +548,15 @@ impl Engine {
                 m.node = u64::from(placed.node.0);
                 m.executor = placed.executor;
                 m.input_local = placed.input_local;
-                batch.push(EngineEvent::TaskStart {
-                    stage,
-                    partition: parts[i],
-                });
                 batch.push(EngineEvent::TaskEnd { stage, metrics: m });
+                for s in spans {
+                    batch.push(EngineEvent::Span {
+                        span: s.span,
+                        label: s.label.to_string(),
+                        start_ns: s.start_ns,
+                        end_ns: s.end_ns,
+                    });
+                }
             }
             batch.push(EngineEvent::StageCompleted {
                 job,
@@ -461,6 +564,8 @@ impl Engine {
                 kind,
                 makespan_ns: outcome.makespan_ns,
                 local_reads: outcome.local_reads,
+                span: stage_span,
+                mono_ns: self.mono_ns(),
             });
             self.events.emit_batch(&batch);
         }
@@ -470,7 +575,12 @@ impl Engine {
     /// Materialize a shuffle's missing map outputs as one parallel stage.
     /// One `stage_info` snapshot replaces the previous three separate
     /// shuffle-manager lock round-trips (shape, runner, missing parts).
-    pub(crate) fn ensure_shuffle(&self, sid: ShuffleId, job: Option<u64>) {
+    pub(crate) fn ensure_shuffle(
+        &self,
+        sid: ShuffleId,
+        job: Option<u64>,
+        parent_span: SpanContext,
+    ) {
         let Some(info) = self.shuffle.stage_info(sid) else {
             return;
         };
@@ -486,6 +596,7 @@ impl Engine {
             &info.missing_map_parts,
             job,
             StageKind::ShuffleMap,
+            parent_span,
             |part, ctx| runner(part, ctx),
         );
     }
@@ -516,9 +627,19 @@ impl Engine {
         Metrics::bump(&self.metrics.jobs);
         let job = self.next_job.fetch_add(1, Ordering::Relaxed);
         let vclock_before = self.vclock.now_ns();
+        // The job span roots the causal chain job → stage → task → kernel.
+        // Allocated only when someone is listening, so an unobserved
+        // engine's job path stays id-allocation free.
+        let job_span = if self.events.is_active() {
+            SpanContext::root(self.new_span_id())
+        } else {
+            SpanContext::NONE
+        };
         self.events.emit_with(|| EngineEvent::JobStart {
             job,
             virtual_now_ns: vclock_before,
+            span: job_span,
+            mono_ns: self.mono_ns(),
         });
         let horizon_before = {
             let mut sched = self.vsched.lock();
@@ -528,10 +649,10 @@ impl Engine {
             sched.horizon_ns()
         };
         for sid in self.meta.plan_shuffles(target, &self.cache) {
-            self.ensure_shuffle(sid, Some(job));
+            self.ensure_shuffle(sid, Some(job), job_span);
         }
         let parts: Vec<usize> = (0..num_partitions).collect();
-        let out = self.run_stage_tagged(&parts, Some(job), StageKind::Result, f);
+        let out = self.run_stage_tagged(&parts, Some(job), StageKind::Result, job_span, f);
         let horizon_after = self.vsched.lock().horizon_ns();
         self.vclock
             .advance(horizon_after.saturating_sub(horizon_before));
@@ -539,6 +660,8 @@ impl Engine {
             job,
             virtual_now_ns: self.vclock.now_ns(),
             virtual_advance_ns: self.vclock.now_ns().saturating_sub(vclock_before),
+            span: job_span,
+            mono_ns: self.mono_ns(),
         });
         out
     }

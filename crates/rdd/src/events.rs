@@ -60,6 +60,44 @@ impl StageKind {
     }
 }
 
+/// Causal identity of one unit of engine work.
+///
+/// Every job, stage, task, and sub-task interval (kernel call, shuffle
+/// fetch, cache recompute) gets a span id unique within the engine, plus
+/// a link to the span it ran under: job → stage → task → kernel. Span id
+/// `0` means "not traced" — an unobserved engine never allocates ids, so
+/// the zero context is also the free fast path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpanContext {
+    /// This span's id (0 = untraced).
+    pub span: u64,
+    /// The enclosing span's id (0 = root).
+    pub parent: u64,
+}
+
+impl SpanContext {
+    /// The untraced context: no span, no parent.
+    pub const NONE: SpanContext = SpanContext { span: 0, parent: 0 };
+
+    /// A root span (a job).
+    pub fn root(span: u64) -> Self {
+        SpanContext { span, parent: 0 }
+    }
+
+    /// A child of this span.
+    pub fn child(self, span: u64) -> Self {
+        SpanContext {
+            span,
+            parent: self.span,
+        }
+    }
+
+    /// Whether this context carries no tracing identity.
+    pub fn is_none(self) -> bool {
+        self.span == 0
+    }
+}
+
 /// Everything measured about one completed task.
 ///
 /// `wall_ns` is the task's measured host-thread time; the `virtual_*`
@@ -98,6 +136,12 @@ pub struct TaskMetrics {
     /// Kernel calls served from a pre-existing thread-local scratch
     /// buffer (no allocator traffic).
     pub scratch_reuses: u64,
+    /// Causal identity: the task's span id and its parent stage span.
+    pub span: SpanContext,
+    /// Monotonic engine time when the task body started (0 if untraced).
+    pub mono_start_ns: u64,
+    /// Monotonic engine time when the task body finished (0 if untraced).
+    pub mono_end_ns: u64,
 }
 
 impl TaskMetrics {
@@ -124,12 +168,18 @@ pub enum EngineEvent {
         job: u64,
         /// Virtual clock when the job was submitted.
         virtual_now_ns: u64,
+        /// The job's root span (zero when the engine is untraced).
+        span: SpanContext,
+        /// Monotonic engine time at submission.
+        mono_ns: u64,
     },
     JobEnd {
         job: u64,
         virtual_now_ns: u64,
         /// How much virtual time this job added to the clock.
         virtual_advance_ns: u64,
+        span: SpanContext,
+        mono_ns: u64,
     },
     StageSubmitted {
         /// `None` for stages run outside a job (engine-internal work).
@@ -137,6 +187,9 @@ pub enum EngineEvent {
         stage: u64,
         kind: StageKind,
         num_tasks: usize,
+        /// The stage's span, parented to the owning job's span.
+        span: SpanContext,
+        mono_ns: u64,
     },
     StageCompleted {
         job: Option<u64>,
@@ -146,7 +199,13 @@ pub enum EngineEvent {
         makespan_ns: u64,
         /// Tasks whose input was read from a local replica.
         local_reads: usize,
+        span: SpanContext,
+        mono_ns: u64,
     },
+    /// Retained for parsing older logs; the engine no longer emits it.
+    /// Stage batches flush at stage end, so a start marker next to its
+    /// `TaskEnd` carried no information `TaskMetrics` doesn't already
+    /// (both start stamps), at twice the per-task event volume.
     TaskStart {
         stage: u64,
         partition: usize,
@@ -154,6 +213,16 @@ pub enum EngineEvent {
     TaskEnd {
         stage: u64,
         metrics: TaskMetrics,
+    },
+    /// A completed sub-task interval: a kernel call, a shuffle fetch or
+    /// write, a cache recompute — parented to the task span it ran under.
+    Span {
+        span: SpanContext,
+        label: String,
+        /// Monotonic engine time at interval start.
+        start_ns: u64,
+        /// Monotonic engine time at interval end.
+        end_ns: u64,
     },
     /// A cached block left the cache: LRU pressure (`pressure: true`) or a
     /// fault/unpersist path (`pressure: false`).
@@ -220,6 +289,16 @@ fn opt_u64_value(v: Option<u64>) -> Value {
     }
 }
 
+/// Parse a span context from the `"span"`/`"parent_span"` keys. Both are
+/// absent in event logs written before span tracing; they default to the
+/// untraced context.
+fn span_from_json(v: &Value) -> Result<SpanContext, serde_json::Error> {
+    Ok(SpanContext {
+        span: get_u64_or(v, "span", 0)?,
+        parent: get_u64_or(v, "parent_span", 0)?,
+    })
+}
+
 impl TaskMetrics {
     fn to_json(self) -> Value {
         serde_json::json!({
@@ -239,6 +318,10 @@ impl TaskMetrics {
             "recomputed_partitions": self.recomputed_partitions,
             "kernel_rows": self.kernel_rows,
             "scratch_reuses": self.scratch_reuses,
+            "span": self.span.span,
+            "parent_span": self.span.parent,
+            "mono_start_ns": self.mono_start_ns,
+            "mono_end_ns": self.mono_end_ns,
         })
     }
 
@@ -262,6 +345,10 @@ impl TaskMetrics {
             // Absent in event logs written before kernel accounting.
             kernel_rows: get_u64_or(v, "kernel_rows", 0)?,
             scratch_reuses: get_u64_or(v, "scratch_reuses", 0)?,
+            // Absent in event logs written before span tracing.
+            span: span_from_json(v)?,
+            mono_start_ns: get_u64_or(v, "mono_start_ns", 0)?,
+            mono_end_ns: get_u64_or(v, "mono_end_ns", 0)?,
         })
     }
 }
@@ -313,6 +400,7 @@ impl EngineEvent {
             EngineEvent::StageCompleted { .. } => "StageCompleted",
             EngineEvent::TaskStart { .. } => "TaskStart",
             EngineEvent::TaskEnd { .. } => "TaskEnd",
+            EngineEvent::Span { .. } => "Span",
             EngineEvent::CacheEvicted { .. } => "CacheEvicted",
             EngineEvent::ShuffleMapRerun { .. } => "ShuffleMapRerun",
             EngineEvent::FaultInjected { .. } => "FaultInjected",
@@ -325,32 +413,47 @@ impl EngineEvent {
             EngineEvent::JobStart {
                 job,
                 virtual_now_ns,
+                span,
+                mono_ns,
             } => serde_json::json!({
                 "Event": "JobStart",
                 "job": *job,
                 "virtual_now_ns": *virtual_now_ns,
+                "span": span.span,
+                "parent_span": span.parent,
+                "mono_ns": *mono_ns,
             }),
             EngineEvent::JobEnd {
                 job,
                 virtual_now_ns,
                 virtual_advance_ns,
+                span,
+                mono_ns,
             } => serde_json::json!({
                 "Event": "JobEnd",
                 "job": *job,
                 "virtual_now_ns": *virtual_now_ns,
                 "virtual_advance_ns": *virtual_advance_ns,
+                "span": span.span,
+                "parent_span": span.parent,
+                "mono_ns": *mono_ns,
             }),
             EngineEvent::StageSubmitted {
                 job,
                 stage,
                 kind,
                 num_tasks,
+                span,
+                mono_ns,
             } => serde_json::json!({
                 "Event": "StageSubmitted",
                 "job": opt_u64_value(*job),
                 "stage": *stage,
                 "kind": kind.as_str(),
                 "num_tasks": *num_tasks as u64,
+                "span": span.span,
+                "parent_span": span.parent,
+                "mono_ns": *mono_ns,
             }),
             EngineEvent::StageCompleted {
                 job,
@@ -358,6 +461,8 @@ impl EngineEvent {
                 kind,
                 makespan_ns,
                 local_reads,
+                span,
+                mono_ns,
             } => serde_json::json!({
                 "Event": "StageCompleted",
                 "job": opt_u64_value(*job),
@@ -365,6 +470,9 @@ impl EngineEvent {
                 "kind": kind.as_str(),
                 "makespan_ns": *makespan_ns,
                 "local_reads": *local_reads as u64,
+                "span": span.span,
+                "parent_span": span.parent,
+                "mono_ns": *mono_ns,
             }),
             EngineEvent::TaskStart { stage, partition } => serde_json::json!({
                 "Event": "TaskStart",
@@ -375,6 +483,19 @@ impl EngineEvent {
                 "Event": "TaskEnd",
                 "stage": *stage,
                 "metrics": metrics.to_json(),
+            }),
+            EngineEvent::Span {
+                span,
+                label,
+                start_ns,
+                end_ns,
+            } => serde_json::json!({
+                "Event": "Span",
+                "span": span.span,
+                "parent_span": span.parent,
+                "label": label.as_str(),
+                "start_ns": *start_ns,
+                "end_ns": *end_ns,
             }),
             EngineEvent::CacheEvicted {
                 op,
@@ -407,11 +528,15 @@ impl EngineEvent {
             "JobStart" => Ok(EngineEvent::JobStart {
                 job: get_u64(v, "job")?,
                 virtual_now_ns: get_u64(v, "virtual_now_ns")?,
+                span: span_from_json(v)?,
+                mono_ns: get_u64_or(v, "mono_ns", 0)?,
             }),
             "JobEnd" => Ok(EngineEvent::JobEnd {
                 job: get_u64(v, "job")?,
                 virtual_now_ns: get_u64(v, "virtual_now_ns")?,
                 virtual_advance_ns: get_u64(v, "virtual_advance_ns")?,
+                span: span_from_json(v)?,
+                mono_ns: get_u64_or(v, "mono_ns", 0)?,
             }),
             "StageSubmitted" => Ok(EngineEvent::StageSubmitted {
                 job: get_opt_u64(v, "job")?,
@@ -422,6 +547,8 @@ impl EngineEvent {
                         .ok_or_else(|| raise("kind is not a string"))?,
                 )?,
                 num_tasks: get_usize(v, "num_tasks")?,
+                span: span_from_json(v)?,
+                mono_ns: get_u64_or(v, "mono_ns", 0)?,
             }),
             "StageCompleted" => Ok(EngineEvent::StageCompleted {
                 job: get_opt_u64(v, "job")?,
@@ -433,6 +560,8 @@ impl EngineEvent {
                 )?,
                 makespan_ns: get_u64(v, "makespan_ns")?,
                 local_reads: get_usize(v, "local_reads")?,
+                span: span_from_json(v)?,
+                mono_ns: get_u64_or(v, "mono_ns", 0)?,
             }),
             "TaskStart" => Ok(EngineEvent::TaskStart {
                 stage: get_u64(v, "stage")?,
@@ -441,6 +570,15 @@ impl EngineEvent {
             "TaskEnd" => Ok(EngineEvent::TaskEnd {
                 stage: get_u64(v, "stage")?,
                 metrics: TaskMetrics::from_json(field(v, "metrics")?)?,
+            }),
+            "Span" => Ok(EngineEvent::Span {
+                span: span_from_json(v)?,
+                label: field(v, "label")?
+                    .as_str()
+                    .ok_or_else(|| raise("label is not a string"))?
+                    .to_string(),
+                start_ns: get_u64(v, "start_ns")?,
+                end_ns: get_u64(v, "end_ns")?,
             }),
             "CacheEvicted" => Ok(EngineEvent::CacheEvicted {
                 op: get_u64(v, "op")?,
@@ -746,6 +884,7 @@ impl StageSummaryListener {
                 stage,
                 kind,
                 num_tasks,
+                ..
             } => Self::with_stage(stages, *stage, |s| {
                 s.job = *job;
                 s.kind = Some(*kind);
@@ -1069,7 +1208,9 @@ impl EventListener for RegistryListener {
                 self.running_jobs.add(-1);
                 self.virtual_clock_ns.set(*virtual_now_ns as i64);
             }
-            EngineEvent::StageSubmitted { .. } | EngineEvent::TaskStart { .. } => {}
+            EngineEvent::StageSubmitted { .. }
+            | EngineEvent::TaskStart { .. }
+            | EngineEvent::Span { .. } => {}
             EngineEvent::StageCompleted { .. } => self.stages_completed.inc(),
             EngineEvent::TaskEnd { metrics, .. } => {
                 self.tasks_completed.inc();
@@ -1110,12 +1251,16 @@ mod tests {
             EngineEvent::JobStart {
                 job: 0,
                 virtual_now_ns: 0,
+                span: SpanContext::root(1),
+                mono_ns: 10,
             },
             EngineEvent::StageSubmitted {
                 job: Some(0),
                 stage: 1,
                 kind: StageKind::ShuffleMap,
                 num_tasks: 4,
+                span: SpanContext { span: 2, parent: 1 },
+                mono_ns: 20,
             },
             EngineEvent::TaskStart {
                 stage: 1,
@@ -1140,7 +1285,16 @@ mod tests {
                     recomputed_partitions: 1,
                     kernel_rows: 640,
                     scratch_reuses: 5,
+                    span: SpanContext { span: 3, parent: 2 },
+                    mono_start_ns: 30,
+                    mono_end_ns: 1_030,
                 },
+            },
+            EngineEvent::Span {
+                span: SpanContext { span: 4, parent: 3 },
+                label: "kernel:contributions".to_string(),
+                start_ns: 40,
+                end_ns: 900,
             },
             EngineEvent::StageCompleted {
                 job: Some(0),
@@ -1148,12 +1302,16 @@ mod tests {
                 kind: StageKind::ShuffleMap,
                 makespan_ns: 10_099,
                 local_reads: 3,
+                span: SpanContext { span: 2, parent: 1 },
+                mono_ns: 1_100,
             },
             EngineEvent::StageSubmitted {
                 job: None,
                 stage: 2,
                 kind: StageKind::Result,
                 num_tasks: 1,
+                span: SpanContext::NONE,
+                mono_ns: 1_200,
             },
             EngineEvent::CacheEvicted {
                 op: 7,
@@ -1183,8 +1341,49 @@ mod tests {
                 job: 0,
                 virtual_now_ns: 10_099,
                 virtual_advance_ns: 10_099,
+                span: SpanContext::root(1),
+                mono_ns: 1_300,
             },
         ]
+    }
+
+    #[test]
+    fn pre_span_event_logs_still_parse() {
+        // Logs written before span tracing carry no span/mono fields; they
+        // must parse with the untraced defaults.
+        let legacy = concat!(
+            "{\"Event\":\"JobStart\",\"job\":3,\"virtual_now_ns\":7}\n",
+            "{\"Event\":\"StageSubmitted\",\"job\":3,\"stage\":0,\"kind\":\"Result\",\"num_tasks\":1}\n",
+            "{\"Event\":\"StageCompleted\",\"job\":3,\"stage\":0,\"kind\":\"Result\",",
+            "\"makespan_ns\":5,\"local_reads\":0}\n",
+            "{\"Event\":\"JobEnd\",\"job\":3,\"virtual_now_ns\":12,\"virtual_advance_ns\":5}\n",
+        );
+        let events = parse_event_log(legacy).unwrap();
+        assert_eq!(events.len(), 4);
+        let EngineEvent::JobStart {
+            job, span, mono_ns, ..
+        } = &events[0]
+        else {
+            panic!("expected JobStart");
+        };
+        assert_eq!(*job, 3);
+        assert_eq!(*span, SpanContext::NONE);
+        assert_eq!(*mono_ns, 0);
+        let EngineEvent::StageSubmitted { span, .. } = &events[1] else {
+            panic!("expected StageSubmitted");
+        };
+        assert!(span.is_none());
+    }
+
+    #[test]
+    fn span_context_links_parent_chain() {
+        let job = SpanContext::root(10);
+        let stage = job.child(11);
+        let task = stage.child(12);
+        assert_eq!(stage.parent, 10);
+        assert_eq!(task.parent, 11);
+        assert!(!task.is_none());
+        assert!(SpanContext::NONE.is_none());
     }
 
     #[test]

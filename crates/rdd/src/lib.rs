@@ -49,6 +49,8 @@ pub mod meta;
 pub mod metrics;
 pub mod ops;
 pub mod pool;
+pub mod profiler;
+pub mod recorder;
 pub mod shuffle;
 
 pub use context::TaskCtx;
@@ -57,12 +59,15 @@ pub use engine::{Broadcast, Engine, EngineBuilder};
 pub use estimate::EstimateSize;
 pub use events::{
     ConsoleProgressListener, EngineEvent, EventBus, EventListener, EventLogListener, FaultDetail,
-    MemoryEventListener, RegistryListener, StageKind, StageSummaryListener, TaskMetrics,
+    MemoryEventListener, RegistryListener, SpanContext, StageKind, StageSummaryListener,
+    TaskMetrics,
 };
 pub use metrics::{Counter, Gauge, Histogram, MetricsSnapshot, Registry};
 pub use ops::shuffled::Aggregator;
 pub use ops::Data;
-pub use pool::PoolDiagnostics;
+pub use pool::{ParticipantSnapshot, ParticipantState, PoolDiagnostics, PoolSnapshot};
+pub use profiler::{PoolProfile, PoolProfiler, ProfilerBuilder};
+pub use recorder::{FlightRecorder, JobStatus};
 pub use shuffle::SHUFFLE_SHARDS;
 
 /// Identifier of one operator in a lineage graph.

@@ -257,6 +257,25 @@ impl Histogram {
     }
 }
 
+/// Prometheus metric-name grammar: `[a-zA-Z_:][a-zA-Z0-9_:]*`. Enforced
+/// at registration so a bad name fails at the call site instead of
+/// producing an exposition scrapers silently drop.
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    let Some(first) = chars.next() else {
+        return false;
+    };
+    (first.is_ascii_alphabetic() || first == '_' || first == ':')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Escape a HELP string per the Prometheus text format — backslash and
+/// newline — so one metric's help text cannot corrupt the line framing of
+/// the whole exposition.
+fn escape_help(help: &str) -> String {
+    help.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
 #[derive(Debug, Clone)]
 enum Metric {
     Counter(Arc<Counter>),
@@ -297,6 +316,10 @@ impl Registry {
         make: impl FnOnce() -> Metric,
         pick: impl Fn(&Metric) -> Option<Arc<T>>,
     ) -> Arc<T> {
+        assert!(
+            valid_metric_name(name),
+            "invalid metric name {name:?}: must match [a-zA-Z_:][a-zA-Z0-9_:]*"
+        );
         let mut metrics = self.metrics.write();
         let (_, metric) = metrics
             .entry(name.to_string())
@@ -366,7 +389,7 @@ impl Registry {
         let mut out = String::new();
         for (name, (help, metric)) in metrics.iter() {
             if !help.is_empty() {
-                let _ = writeln!(out, "# HELP {name} {help}");
+                let _ = writeln!(out, "# HELP {name} {}", escape_help(help));
             }
             let _ = writeln!(out, "# TYPE {name} {}", metric.type_str());
             match metric {
@@ -527,5 +550,85 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(m.snapshot().tasks, 8000);
+    }
+
+    #[test]
+    fn histogram_boundary_observations_land_inclusively() {
+        let reg = Registry::new();
+        let h = reg.histogram("edge_ns", "", vec![10, 100]);
+        // `le` is inclusive: a value exactly on a bound belongs to that
+        // bucket, zero lands in the first bucket, and anything above the
+        // last bound only reaches +Inf.
+        for v in [0, 10, 100, 101, u64::MAX] {
+            h.observe(v);
+        }
+        let text = reg.render_prometheus();
+        assert!(text.contains("edge_ns_bucket{le=\"10\"} 2"), "{text}");
+        assert!(text.contains("edge_ns_bucket{le=\"100\"} 3"), "{text}");
+        assert!(text.contains("edge_ns_bucket{le=\"+Inf\"} 5"), "{text}");
+        assert!(text.contains("edge_ns_count 5"), "{text}");
+    }
+
+    #[test]
+    fn help_text_with_newline_and_backslash_stays_one_line() {
+        let reg = Registry::new();
+        reg.counter("escaped_total", "first line\nsecond \\ line");
+        let text = reg.render_prometheus();
+        let help_line = text
+            .lines()
+            .find(|l| l.starts_with("# HELP escaped_total"))
+            .expect("help line present");
+        assert_eq!(
+            help_line,
+            "# HELP escaped_total first line\\nsecond \\\\ line"
+        );
+        // The raw newline must not have leaked into the framing: every
+        // line is either a comment or a sample.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.starts_with("escaped_total"),
+                "unframed line {line:?} in {text}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn registry_rejects_names_outside_prometheus_grammar() {
+        Registry::new().counter("bad-name", "hyphens are not allowed");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn registry_rejects_leading_digit_names() {
+        Registry::new().gauge("9lives", "");
+    }
+
+    #[test]
+    fn concurrent_registry_counter_increments_sum_exactly() {
+        use std::sync::Arc;
+        let reg = Arc::new(Registry::new());
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let reg = Arc::clone(&reg);
+                std::thread::spawn(move || {
+                    // Half the threads race get_or_insert, half bump a
+                    // fresh handle; all must hit the same counter. Render
+                    // concurrently to shake out lock ordering.
+                    let c = reg.counter("racy_total", "contended");
+                    for i in 0..1000u64 {
+                        c.inc();
+                        if t == 0 && i % 250 == 0 {
+                            let _ = reg.render_prometheus();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(reg.counter("racy_total", "").get(), 8000);
+        assert!(reg.render_prometheus().contains("racy_total 8000"));
     }
 }

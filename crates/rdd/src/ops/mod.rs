@@ -58,7 +58,7 @@ pub fn materialize<T: Data>(op: &Arc<dyn Op<T>>, part: usize, ctx: &TaskCtx<'_>)
         Metrics::bump(&engine.metrics.recomputed_partitions);
         ctx.note_recompute();
     }
-    let data = Arc::new(op.compute(part, ctx));
+    let data = ctx.time_span("cache:recompute", || Arc::new(op.compute(part, ctx)));
     let node = engine.node_for_block(id.0, part as u64);
     let outcome = engine.cache.put(id, part, Arc::clone(&data), node);
     Metrics::add(&engine.metrics.cache_evictions, outcome.evicted_blocks());

@@ -99,20 +99,22 @@ pub(crate) fn register_shuffle_map<K, V, C>(
             }
         }
         let node = engine.node_for_block(sid.0.wrapping_mul(0x9e37_79b9), map_part as u64);
-        let buckets: Vec<Bucket> = tables
-            .into_iter()
-            .map(|t| {
-                let records: Vec<(K, C)> = t.into_iter().collect();
-                let bytes = slice_bytes(&records) as u64;
-                Metrics::add(&engine.metrics.shuffle_bytes_written, bytes);
-                ctx.add_shuffle_write(bytes);
-                Bucket {
-                    data: Arc::new(records),
-                    bytes,
-                }
-            })
-            .collect();
-        engine.shuffle.put_map_output(sid, map_part, buckets, node);
+        ctx.time_span("shuffle:write", || {
+            let buckets: Vec<Bucket> = tables
+                .into_iter()
+                .map(|t| {
+                    let records: Vec<(K, C)> = t.into_iter().collect();
+                    let bytes = slice_bytes(&records) as u64;
+                    Metrics::add(&engine.metrics.shuffle_bytes_written, bytes);
+                    ctx.add_shuffle_write(bytes);
+                    Bucket {
+                        data: Arc::new(records),
+                        bytes,
+                    }
+                })
+                .collect();
+            engine.shuffle.put_map_output(sid, map_part, buckets, node);
+        });
     });
     engine.shuffle.register(
         sid,
@@ -140,29 +142,31 @@ where
     C: Data,
 {
     let engine = ctx.engine();
-    engine
-        .shuffle
-        .get_buckets(sid, reduce_part, num_map_parts)
-        .into_iter()
-        .enumerate()
-        .map(|(map_part, bucket)| {
-            // Recovery stays per-bucket: only re-run maps whose output is
-            // actually gone, then re-fetch just that bucket.
-            let bucket = bucket.unwrap_or_else(|| {
-                engine.rerun_map_task_inline(sid, map_part, ctx);
-                engine
-                    .shuffle
-                    .get_bucket(sid, map_part, reduce_part)
-                    .expect("re-run map task must restore its shuffle output")
-            });
-            ctx.add_shuffle_read(bucket.bytes);
-            Metrics::add(&engine.metrics.shuffle_bytes_read, bucket.bytes);
-            bucket
-                .data
-                .downcast::<Vec<(K, C)>>()
-                .expect("shuffle bucket holds the registered record type")
-        })
-        .collect()
+    ctx.time_span("shuffle:fetch", || {
+        engine
+            .shuffle
+            .get_buckets(sid, reduce_part, num_map_parts)
+            .into_iter()
+            .enumerate()
+            .map(|(map_part, bucket)| {
+                // Recovery stays per-bucket: only re-run maps whose output is
+                // actually gone, then re-fetch just that bucket.
+                let bucket = bucket.unwrap_or_else(|| {
+                    engine.rerun_map_task_inline(sid, map_part, ctx);
+                    engine
+                        .shuffle
+                        .get_bucket(sid, map_part, reduce_part)
+                        .expect("re-run map task must restore its shuffle output")
+                });
+                ctx.add_shuffle_read(bucket.bytes);
+                Metrics::add(&engine.metrics.shuffle_bytes_read, bucket.bytes);
+                bucket
+                    .data
+                    .downcast::<Vec<(K, C)>>()
+                    .expect("shuffle bucket holds the registered record type")
+            })
+            .collect()
+    })
 }
 
 /// Reduce side of a combine-by-key shuffle: yields `(K, C)` pairs.

@@ -24,11 +24,77 @@
 //! every worker, and joins them, so no detached threads outlive the
 //! engine.
 
-use std::cell::UnsafeCell;
+use std::cell::{Cell, UnsafeCell};
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+
+thread_local! {
+    /// This thread's participant index in the pool it belongs to
+    /// (`usize::MAX` when the thread is not a pool participant). Workers
+    /// set it once at startup; the driver sets it on every stage entry.
+    static PARTICIPANT: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// What a pool participant is doing right now. Written with relaxed
+/// stores on the participant's own transitions and sampled by the pool
+/// profiler — an instantaneous, advisory view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ParticipantState {
+    /// Waiting for work (workers park on the condvar; the driver is
+    /// between stages or waiting out stragglers).
+    #[default]
+    Parked,
+    /// Executing claimed tasks.
+    Running,
+    /// Scanning other participants' ranges for work to steal.
+    Stealing,
+}
+
+const STATE_PARKED: u8 = 0;
+const STATE_RUNNING: u8 = 1;
+const STATE_STEALING: u8 = 2;
+
+impl ParticipantState {
+    fn from_u8(v: u8) -> Self {
+        match v {
+            STATE_RUNNING => ParticipantState::Running,
+            STATE_STEALING => ParticipantState::Stealing,
+            _ => ParticipantState::Parked,
+        }
+    }
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ParticipantState::Parked => "parked",
+            ParticipantState::Running => "running",
+            ParticipantState::Stealing => "stealing",
+        }
+    }
+}
+
+/// One participant's instant in a [`PoolSnapshot`].
+#[derive(Debug, Clone, Copy)]
+pub struct ParticipantSnapshot {
+    pub state: ParticipantState,
+    /// Span id of the task the participant is running (0 = none).
+    pub current_span: u64,
+    /// Tasks still unclaimed in this participant's own range.
+    pub queue_depth: usize,
+}
+
+/// An instantaneous view of the pool, taken by
+/// [`PoolDiagnostics::snapshot`].
+#[derive(Debug, Clone)]
+pub struct PoolSnapshot {
+    /// Participant 0 is the driver; the rest are pool workers.
+    pub participants: Vec<ParticipantSnapshot>,
+    /// Whether a multi-task stage is currently published.
+    pub stage_active: bool,
+    /// Tasks completed so far in the active stage (0 when idle).
+    pub stage_tasks_completed: usize,
+}
 
 /// Write-once, lock-free result slots, one per task index.
 ///
@@ -108,6 +174,11 @@ fn unpack(v: u64) -> (usize, usize) {
 impl TaskRange {
     fn new(lo: usize, hi: usize) -> Self {
         TaskRange(AtomicU64::new(pack(lo, hi)))
+    }
+
+    /// Unclaimed `(lo, hi)` right now — advisory, for diagnostics.
+    fn remaining(&self) -> (usize, usize) {
+        unpack(self.0.load(Ordering::Acquire))
     }
 
     /// Owner side: claim a chunk from the front. Chunk size grows with the
@@ -198,6 +269,10 @@ struct PoolShared {
     done_cv: Condvar,
     threads_alive: AtomicUsize,
     threads_spawned: AtomicUsize,
+    /// Per-participant activity (`STATE_*`), sampled by the profiler.
+    participant_state: Box<[AtomicU8]>,
+    /// Span id of the task each participant is running (0 = none).
+    participant_span: Box<[AtomicU64]>,
 }
 
 impl PoolShared {
@@ -227,6 +302,46 @@ impl PoolDiagnostics {
     /// Worker threads currently alive (0 after the owning engine drops).
     pub fn threads_alive(&self) -> usize {
         self.shared.threads_alive.load(Ordering::Acquire)
+    }
+
+    /// Instantaneous pool view: per-participant state, current span, and
+    /// unclaimed queue depth, plus active-stage progress. Safe to call
+    /// from any thread at any time (the pool profiler's sampling hook).
+    pub fn snapshot(&self) -> PoolSnapshot {
+        let n = self.shared.participant_state.len();
+        let mut depths = vec![0usize; n];
+        let mut completed = 0usize;
+        let st = self.shared.lock();
+        let stage_active = match st.job {
+            // SAFETY: `job` is only Some while the publishing `run` frame
+            // is alive, and the driver must take this same lock to retire
+            // it — holding the lock keeps the pointer valid for the read.
+            Some(h) => {
+                let job = unsafe { &*h.0 };
+                completed = job.completed.load(Ordering::Acquire);
+                for (d, range) in depths.iter_mut().zip(job.ranges.iter()) {
+                    let (lo, hi) = range.remaining();
+                    *d = hi.saturating_sub(lo);
+                }
+                true
+            }
+            None => false,
+        };
+        drop(st);
+        let participants = (0..n)
+            .map(|i| ParticipantSnapshot {
+                state: ParticipantState::from_u8(
+                    self.shared.participant_state[i].load(Ordering::Relaxed),
+                ),
+                current_span: self.shared.participant_span[i].load(Ordering::Relaxed),
+                queue_depth: depths[i],
+            })
+            .collect();
+        PoolSnapshot {
+            participants,
+            stage_active,
+            stage_tasks_completed: completed,
+        }
     }
 }
 
@@ -258,6 +373,10 @@ impl ExecutorPool {
             done_cv: Condvar::new(),
             threads_alive: AtomicUsize::new(0),
             threads_spawned: AtomicUsize::new(0),
+            participant_state: (0..host_threads)
+                .map(|_| AtomicU8::new(STATE_PARKED))
+                .collect(),
+            participant_span: (0..host_threads).map(|_| AtomicU64::new(0)).collect(),
         });
         let workers = (1..host_threads)
             .map(|w| {
@@ -284,6 +403,16 @@ impl ExecutorPool {
         }
     }
 
+    /// Record the span id of the task the calling participant is running
+    /// (0 = between tasks). No-op on threads that are not participants.
+    #[inline]
+    pub(crate) fn note_current_span(&self, span: u64) {
+        let idx = PARTICIPANT.with(|p| p.get());
+        if let Some(slot) = self.shared.participant_span.get(idx) {
+            slot.store(span, Ordering::Relaxed);
+        }
+    }
+
     /// Run `n` tasks, calling `run_task(i)` exactly once for each
     /// `i in 0..n`, and return once all have completed. `run_task` must
     /// not unwind (wrap task bodies in `catch_unwind`).
@@ -291,18 +420,26 @@ impl ExecutorPool {
     /// One-task stages — the resampling hot path — run inline on the
     /// caller with no locks, wakeups, or atomics.
     pub fn run(&self, n: usize, run_task: &(dyn Fn(usize) + Sync)) {
-        match n {
-            0 => return,
-            1 => {
-                run_task(0);
-                return;
-            }
-            _ => {}
+        if n == 0 {
+            return;
+        }
+        // The driver is participant 0 on every path, including inline
+        // single-task stages, so span attribution and profiler state work
+        // without pool interaction.
+        PARTICIPANT.with(|p| p.set(0));
+        let driver_state = &self.shared.participant_state[0];
+        if n == 1 {
+            driver_state.store(STATE_RUNNING, Ordering::Relaxed);
+            run_task(0);
+            driver_state.store(STATE_PARKED, Ordering::Relaxed);
+            return;
         }
         if self.participants == 1 {
+            driver_state.store(STATE_RUNNING, Ordering::Relaxed);
             for i in 0..n {
                 run_task(i);
             }
+            driver_state.store(STATE_PARKED, Ordering::Relaxed);
             return;
         }
 
@@ -335,7 +472,7 @@ impl ExecutorPool {
 
         // The driver is participant 0: it executes its own share (and
         // steals) before waiting, so a stage never blocks on a wakeup.
-        execute_stage(&job, 0);
+        execute_stage(&job, 0, &self.shared);
 
         // Wait for completion, retire the job, then drain stragglers that
         // still hold the pointer before the job leaves this stack frame.
@@ -381,20 +518,26 @@ fn split_ranges(n: usize, participants: usize) -> Box<[TaskRange]> {
 
 /// Drain the stage from participant `me`'s viewpoint: claim chunks from
 /// the own range, then steal from the others until nothing is left.
-fn execute_stage(job: &StageJob, me: usize) {
+/// Publishes the participant's running/stealing/parked transitions for
+/// the profiler as it goes (relaxed stores, once per claim, not per task).
+fn execute_stage(job: &StageJob, me: usize, shared: &PoolShared) {
     let run = job.run;
     let mut ran = 0usize;
+    let state = &shared.participant_state[me];
     loop {
         while let Some((lo, hi)) = job.ranges[me].claim_front() {
+            state.store(STATE_RUNNING, Ordering::Relaxed);
             for i in lo..hi {
                 run(i);
             }
             ran += hi - lo;
         }
+        state.store(STATE_STEALING, Ordering::Relaxed);
         let mut stole = false;
         for off in 1..job.ranges.len() {
             let victim = (me + off) % job.ranges.len();
             if let Some((lo, hi)) = job.ranges[victim].steal_back() {
+                state.store(STATE_RUNNING, Ordering::Relaxed);
                 for i in lo..hi {
                     run(i);
                 }
@@ -407,12 +550,14 @@ fn execute_stage(job: &StageJob, me: usize) {
             break;
         }
     }
+    state.store(STATE_PARKED, Ordering::Relaxed);
     if ran > 0 {
         job.completed.fetch_add(ran, Ordering::AcqRel);
     }
 }
 
 fn worker_loop(shared: &PoolShared, me: usize) {
+    PARTICIPANT.with(|p| p.set(me));
     let mut seen_epoch = 0u64;
     loop {
         let handle = {
@@ -434,7 +579,7 @@ fn worker_loop(shared: &PoolShared, me: usize) {
         };
         // SAFETY: in_flight was incremented under the state lock while the
         // job was published, so the driver cannot free it until we exit.
-        execute_stage(unsafe { &*handle.0 }, me);
+        execute_stage(unsafe { &*handle.0 }, me, shared);
         {
             let mut st = shared.lock();
             st.in_flight -= 1;
@@ -459,9 +604,9 @@ mod tests {
                 r.steal_back()
             };
             let Some((lo, hi)) = claimed else { break };
-            for i in lo..hi {
-                assert!(!seen[i], "index {i} claimed twice");
-                seen[i] = true;
+            for (i, s) in seen.iter_mut().enumerate().take(hi).skip(lo) {
+                assert!(!*s, "index {i} claimed twice");
+                *s = true;
             }
         }
         assert!(seen.into_iter().all(|s| s), "every index claimed");

@@ -328,6 +328,12 @@ impl ShuffleManager {
     pub fn num_registered(&self) -> usize {
         self.stages.read().len()
     }
+
+    /// Map outputs held per lock shard ([`SHUFFLE_SHARDS`] entries) — the
+    /// profiler's view of how evenly the shuffle store is loaded.
+    pub fn shard_occupancy(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.lock().len()).collect()
+    }
 }
 
 #[cfg(test)]
@@ -442,5 +448,7 @@ mod tests {
         m.register(sid, stage(1, 2));
         m.put_map_output(sid, 0, vec![bucket(vec![1, 2]), bucket(vec![3])], NodeId(0));
         assert_eq!(m.stored_bytes(), 12);
+        assert_eq!(m.shard_occupancy().len(), SHUFFLE_SHARDS);
+        assert_eq!(m.shard_occupancy().iter().sum::<usize>(), 1);
     }
 }

@@ -78,12 +78,15 @@ fn task_end_count_matches_task_counter_delta() {
         .iter()
         .filter(|e| matches!(e, EngineEvent::TaskEnd { .. }))
         .count() as u64;
-    let task_starts = events
-        .iter()
-        .filter(|e| matches!(e, EngineEvent::TaskStart { .. }))
-        .count() as u64;
     assert_eq!(task_ends, delta.tasks, "one TaskEnd per counted task");
-    assert_eq!(task_starts, task_ends);
+    // TaskStart is a legacy variant: the engine emits exactly one TaskEnd
+    // per task and no start markers.
+    assert!(
+        !events
+            .iter()
+            .any(|e| matches!(e, EngineEvent::TaskStart { .. })),
+        "engine must not emit TaskStart"
+    );
     // Stage task counts are consistent with submissions.
     for e in &events {
         if let EngineEvent::StageSubmitted {
@@ -180,6 +183,69 @@ fn event_log_round_trips_through_jsonl() {
     assert!(!parsed.is_empty());
 }
 
+/// Regression test: a panicking task must not strand buffered events in
+/// the `EventLogListener`'s `BufWriter`. The engine flushes every
+/// listener before re-raising the task panic on the driver, so the log
+/// file already holds a well-formed prefix of the run while the process
+/// is still alive (no reliance on `Drop`, which never runs if the panic
+/// aborts the process).
+#[test]
+fn task_panic_flushes_buffered_event_log_to_disk() {
+    let path = std::env::temp_dir().join(format!(
+        "sparkscore-panic-flush-{}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    let engine = Engine::builder(ClusterSpec::test_small(3))
+        .host_threads(4)
+        .listener(Arc::new(
+            sparkscore_rdd::EventLogListener::to_file(&path).unwrap(),
+        ))
+        .build();
+
+    // A completed job first, so the buffer holds whole-stage batches that
+    // predate the failure, then a job whose stage panics mid-flight.
+    run_shuffle_job(&engine);
+    let boom = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        engine
+            .parallelize((0..16u64).collect::<Vec<_>>(), 8)
+            .map(|x| {
+                assert!(x != 11, "injected task failure");
+                x
+            })
+            .collect();
+    }));
+    assert!(boom.is_err(), "task panic must reach the driver");
+
+    // Engine and listener are both still alive: anything on disk now got
+    // there through the panic-path flush, not a destructor.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let events = parse_event_log(&text).expect("partial log is well-formed JSONL");
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, EngineEvent::JobEnd { .. })),
+        "completed job's tail must be flushed: {events:?}"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, EngineEvent::TaskEnd { .. })),
+        "batched TaskEnd events must be flushed: {events:?}"
+    );
+    let submissions = events
+        .iter()
+        .filter(|e| matches!(e, EngineEvent::StageSubmitted { .. }))
+        .count();
+    assert_eq!(
+        submissions, 3,
+        "the panicking job's own StageSubmitted must be flushed too"
+    );
+
+    drop(engine);
+    let _ = std::fs::remove_file(&path);
+}
+
 #[test]
 fn stage_summary_totals_match_engine_metrics() {
     let summary = Arc::new(StageSummaryListener::new());
@@ -208,28 +274,37 @@ fn stage_summary_totals_match_engine_metrics() {
 /// kind), with field values chosen to stress integer width and optional
 /// fields.
 fn every_event_variant() -> Vec<EngineEvent> {
+    use sparkscore_rdd::events::SpanContext;
     use sparkscore_rdd::{StageKind, TaskMetrics};
     vec![
         EngineEvent::JobStart {
             job: u64::MAX,
             virtual_now_ns: 0,
+            span: SpanContext::root(u64::MAX),
+            mono_ns: u64::MAX,
         },
         EngineEvent::JobEnd {
             job: u64::MAX,
             virtual_now_ns: u64::MAX,
             virtual_advance_ns: u64::MAX - 1,
+            span: SpanContext::root(u64::MAX),
+            mono_ns: 0,
         },
         EngineEvent::StageSubmitted {
             job: None,
             stage: 0,
             kind: StageKind::ShuffleMap,
             num_tasks: 0,
+            span: SpanContext::NONE,
+            mono_ns: 0,
         },
         EngineEvent::StageSubmitted {
             job: Some(3),
             stage: 1,
             kind: StageKind::Result,
             num_tasks: usize::MAX >> 1,
+            span: SpanContext { span: 2, parent: 1 },
+            mono_ns: 17,
         },
         EngineEvent::StageCompleted {
             job: Some(3),
@@ -237,6 +312,8 @@ fn every_event_variant() -> Vec<EngineEvent> {
             kind: StageKind::Result,
             makespan_ns: u64::MAX,
             local_reads: 7,
+            span: SpanContext { span: 2, parent: 1 },
+            mono_ns: 18,
         },
         EngineEvent::StageCompleted {
             job: None,
@@ -244,10 +321,21 @@ fn every_event_variant() -> Vec<EngineEvent> {
             kind: StageKind::ShuffleMap,
             makespan_ns: 0,
             local_reads: 0,
+            span: SpanContext::NONE,
+            mono_ns: 0,
         },
         EngineEvent::TaskStart {
             stage: 9,
             partition: 0,
+        },
+        EngineEvent::Span {
+            span: SpanContext {
+                span: u64::MAX,
+                parent: u64::MAX - 1,
+            },
+            label: "kernel:contributions".to_string(),
+            start_ns: 0,
+            end_ns: u64::MAX,
         },
         EngineEvent::TaskEnd {
             stage: 9,
@@ -268,6 +356,9 @@ fn every_event_variant() -> Vec<EngineEvent> {
                 recomputed_partitions: 9,
                 kernel_rows: 10,
                 scratch_reuses: 11,
+                span: SpanContext { span: 3, parent: 2 },
+                mono_start_ns: 19,
+                mono_end_ns: 20,
             },
         },
         EngineEvent::TaskEnd {
@@ -319,6 +410,7 @@ fn every_event_variant_round_trips_through_jsonl() {
         "StageSubmitted",
         "StageCompleted",
         "TaskStart",
+        "Span",
         "TaskEnd",
         "CacheEvicted",
         "ShuffleMapRerun",

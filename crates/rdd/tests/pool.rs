@@ -103,9 +103,9 @@ fn batched_emission_keeps_stage_event_invariants() {
     assert_eq!(summed.collect().len(), 10);
 
     let events = mem.snapshot();
-    // Per stage: TaskStart/TaskEnd strictly between Submitted and
-    // Completed, starts pair with ends, and counts match num_tasks.
-    let mut open: Option<(u64, usize, usize, usize)> = None; // (stage, num_tasks, starts, ends)
+    // Per stage: every TaskEnd strictly between Submitted and Completed,
+    // one per task, and counts match num_tasks.
+    let mut open: Option<(u64, usize, usize)> = None; // (stage, num_tasks, ends)
     let mut stages_seen = 0;
     for e in &events {
         match e {
@@ -113,24 +113,17 @@ fn batched_emission_keeps_stage_event_invariants() {
                 stage, num_tasks, ..
             } => {
                 assert!(open.is_none(), "stages must not interleave");
-                open = Some((*stage, *num_tasks, 0, 0));
-            }
-            EngineEvent::TaskStart { stage, .. } => {
-                let s = open.as_mut().expect("TaskStart outside a stage");
-                assert_eq!(s.0, *stage);
-                s.2 += 1;
-                assert_eq!(s.2, s.3 + 1, "each start immediately precedes its end");
+                open = Some((*stage, *num_tasks, 0));
             }
             EngineEvent::TaskEnd { stage, .. } => {
                 let s = open.as_mut().expect("TaskEnd outside a stage");
                 assert_eq!(s.0, *stage);
-                s.3 += 1;
+                s.2 += 1;
             }
             EngineEvent::StageCompleted { stage, .. } => {
-                let (open_stage, num_tasks, starts, ends) =
+                let (open_stage, num_tasks, ends) =
                     open.take().expect("StageCompleted without StageSubmitted");
                 assert_eq!(open_stage, *stage);
-                assert_eq!(starts, num_tasks);
                 assert_eq!(ends, num_tasks);
                 stages_seen += 1;
             }

@@ -376,7 +376,7 @@ mod tests {
     #[test]
     fn perturb_blocked_handles_empty_snp_set() {
         let mut out = vec![];
-        perturb_scores_blocked(&[], 0, 10, &vec![0.5; 20], 2, &mut out);
+        perturb_scores_blocked(&[], 0, 10, &[0.5; 20], 2, &mut out);
         assert!(out.is_empty());
     }
 

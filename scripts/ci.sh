@@ -38,6 +38,35 @@ cargo run --release -p sparkscore-bench --bin hotpath -- \
 grep -q '"speedup_vs_spawn"' "$hotpath_json" \
     || { echo "hotpath smoke: JSON missing speedup_vs_spawn" >&2; exit 1; }
 
+echo "== ops smoke: live endpoint serves metrics and a parseable trace dump =="
+ops_out="$events_dir/live_ops.out"
+cargo build --release -p sparkscore-core --example live_ops
+./target/release/examples/live_ops 6 > "$ops_out" &
+ops_pid=$!
+# Wait for the endpoint line, then scrape it with bash's /dev/tcp (no nc).
+ops_port=""
+for _ in $(seq 1 50); do
+    ops_port="$(sed -n 's/^ops endpoint listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$ops_out")"
+    [ -n "$ops_port" ] && break
+    sleep 0.1
+done
+[ -n "$ops_port" ] || { echo "ops smoke: endpoint never came up" >&2; kill "$ops_pid"; exit 1; }
+scrape() {
+    exec 3<>"/dev/tcp/127.0.0.1/$ops_port"
+    printf '%s\n' "$1" >&3
+    cat <&3
+    exec 3<&- 3>&-
+}
+metrics="$(scrape metrics)"
+grep -q '^# TYPE sparkscore_' <<< "$metrics" \
+    || { echo "ops smoke: metrics scrape missing sparkscore_ gauges" >&2; kill "$ops_pid"; exit 1; }
+ops_dump="$events_dir/live_ops_trace.jsonl"
+scrape trace > "$ops_dump"
+[ -s "$ops_dump" ] || { echo "ops smoke: empty trace dump" >&2; kill "$ops_pid"; exit 1; }
+cargo run --release -p sparkscore-obs --bin trace -- report --json "$ops_dump" > /dev/null \
+    || { echo "ops smoke: trace dump did not parse" >&2; kill "$ops_pid"; exit 1; }
+wait "$ops_pid"
+
 echo "== kernels smoke: packed/blocked kernels match references and emit JSON =="
 kernels_json="$events_dir/BENCH_kernels_smoke.json"
 cargo run --release -p sparkscore-bench --bin kernels -- \
