@@ -199,6 +199,15 @@ impl SparkScoreContext {
     ) -> Self {
         assert!(!sets.is_empty(), "need at least one SNP-set");
         assert!(options.reduce_partitions > 0);
+        // The kernels' thread-local scratch is the one byte-holding
+        // subsystem the rdd crate cannot see (stats sits outside its
+        // dependency cone), so the `scratch` ledger category is fed here,
+        // where both sides are visible. Idempotent: re-registering on a
+        // shared engine just replaces the same source.
+        engine.memory_ledger().set_source(
+            sparkscore_rdd::MemCategory::Scratch,
+            scratch::allocated_bytes,
+        );
         let model = Model::fit(&phenotype);
 
         // Union of all SNP-sets (Algorithm 1 step 4) for the matrix filter.

@@ -15,6 +15,9 @@
 //!   the per-task counters plus an estimate of the virtual time and input
 //!   bytes the hits saved: the paper's Algorithm 1 vs Algorithm 3
 //!   comparison, derivable from any run.
+//! * **Memory timeline** ([`MemoryTimeline`]) — per-op peak residency,
+//!   eviction churn, and budget-headroom-over-time replayed from the
+//!   memory plane's exact byte-delta events (`trace memory`).
 //! * **DOT export** ([`to_dot`]) — the job/stage DAG annotated with time
 //!   and shuffle volume, bottleneck stages highlighted.
 //! * **Run diffing** ([`diff_report`]) — two logs compared stage-by-stage
@@ -42,12 +45,14 @@
 
 pub mod analyze;
 pub mod dot;
+pub mod memory;
 pub mod ops;
 pub mod report;
 pub mod trace;
 
 pub use analyze::{cache_roi, critical_paths, stage_skew, CacheRoi, CriticalPath, StageSkew};
 pub use dot::to_dot;
+pub use memory::{live_digest, MemoryTimeline, OpResidency};
 pub use ops::{OpsServer, OpsServerBuilder};
 pub use report::{cache_roi_line, critical_path_report, diff_report, report, report_json};
-pub use trace::{ExecutionTrace, SpanTotal, TraceJob, TraceSpan, TraceStage};
+pub use trace::{ExecutionTrace, MemWatermark, SpanTotal, TraceJob, TraceSpan, TraceStage};

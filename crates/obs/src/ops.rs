@@ -11,6 +11,7 @@
 //! $ echo jobs    | nc 127.0.0.1 <port>     # live job table + path-so-far
 //! $ echo "trace 3" | nc 127.0.0.1 <port>   # flight-recorder JSONL dump
 //! $ echo profile | nc 127.0.0.1 <port>     # pool wall-clock attribution
+//! $ echo memory  | nc 127.0.0.1 <port>     # memory ledger per category
 //! ```
 //!
 //! `trace` output is a well-formed partial event log: it feeds straight
@@ -29,18 +30,19 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use sparkscore_rdd::events::fmt_ns;
-use sparkscore_rdd::{FlightRecorder, PoolProfiler, Registry};
+use sparkscore_rdd::{FlightRecorder, MemoryLedger, PoolProfiler, Registry};
 
 use crate::analyze::critical_paths;
 use crate::trace::ExecutionTrace;
 
-const HELP: &str = "commands:\n  metrics        Prometheus text exposition of live gauges/counters\n  jobs           live job table: phase, retained events, critical path so far\n  trace          flight-recorder dump of every retained job (JSONL)\n  trace <job>    flight-recorder dump of one job (JSONL)\n  profile        pool profiler wall-clock attribution\n  help           this text\n";
+const HELP: &str = "commands:\n  metrics        Prometheus text exposition of live gauges/counters\n  jobs           live job table: phase, retained events, critical path so far\n  trace          flight-recorder dump of every retained job (JSONL)\n  trace <job>    flight-recorder dump of one job (JSONL)\n  profile        pool profiler wall-clock attribution\n  memory         live memory ledger: used/peak bytes per category\n  help           this text\n";
 
 /// The optional data sources a server exposes. Shared by every connection.
 struct Sources {
     registry: Option<Arc<Registry>>,
     recorder: Option<Arc<FlightRecorder>>,
     profiler: Option<Arc<PoolProfiler>>,
+    memory: Option<Arc<MemoryLedger>>,
 }
 
 /// Configures and starts an [`OpsServer`].
@@ -72,6 +74,13 @@ impl OpsServerBuilder {
     /// Serve this profiler's attribution under `profile`.
     pub fn profiler(mut self, profiler: Arc<PoolProfiler>) -> Self {
         self.sources.profiler = Some(profiler);
+        self
+    }
+
+    /// Serve this ledger's per-category residency under `memory`
+    /// (e.g. `Engine::memory_ledger`).
+    pub fn memory(mut self, ledger: Arc<MemoryLedger>) -> Self {
+        self.sources.memory = Some(ledger);
         self
     }
 
@@ -111,6 +120,7 @@ impl OpsServer {
                 registry: None,
                 recorder: None,
                 profiler: None,
+                memory: None,
             },
         }
     }
@@ -185,9 +195,31 @@ fn respond(line: &str, sources: &Sources) -> String {
             .profiler
             .as_ref()
             .map_or_else(|| "err: no profiler attached\n".to_string(), |p| p.report()),
+        ["memory"] => sources.memory.as_ref().map_or_else(
+            || "err: no memory ledger attached\n".to_string(),
+            |l| memory_table(l),
+        ),
         ["help"] | [] => HELP.to_string(),
         _ => format!("err: unknown command {line:?}; try help\n"),
     }
+}
+
+/// The `memory` table: one line per ledger category — the same category
+/// names the Prometheus `sparkscore_mem_*` gauges use — plus a total.
+fn memory_table(ledger: &MemoryLedger) -> String {
+    ledger.refresh();
+    let mut out = String::new();
+    out.push_str("category        used_bytes     peak_bytes\n");
+    for r in ledger.snapshot() {
+        out.push_str(&format!(
+            "{:<14}  {:>12}  {:>12}\n",
+            r.category.name(),
+            r.used,
+            r.peak
+        ));
+    }
+    out.push_str(&format!("{:<14}  {:>12}\n", "total", ledger.total_used()));
+    out
 }
 
 /// The `jobs` table: one line per retained job. For a job still in flight
@@ -301,6 +333,53 @@ mod tests {
     }
 
     #[test]
+    fn memory_table_lists_every_ledger_category() {
+        use sparkscore_rdd::{MemCategory, MemoryLedger};
+        let ledger = Arc::new(MemoryLedger::new());
+        ledger.add(MemCategory::BlockCache, 4_096);
+        ledger.add(MemCategory::ShuffleStore, 1_024);
+        ledger.sub(MemCategory::ShuffleStore, 1_024);
+        let server = OpsServer::builder()
+            .memory(Arc::clone(&ledger))
+            .start()
+            .expect("start ops server");
+        let table = send(server.local_addr(), "memory");
+        // Same category names as the `sparkscore_mem_*` gauges, in the
+        // ledger's canonical order.
+        let names: Vec<&str> = table
+            .lines()
+            .skip(1)
+            .filter_map(|l| l.split_whitespace().next())
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "block_cache",
+                "shuffle_store",
+                "dfs_blocks",
+                "scratch",
+                "total"
+            ],
+            "{table}"
+        );
+        let row = |name: &str| -> Vec<String> {
+            table
+                .lines()
+                .find(|l| l.starts_with(name))
+                .unwrap_or_else(|| panic!("no {name} row in {table}"))
+                .split_whitespace()
+                .map(str::to_string)
+                .collect()
+        };
+        assert_eq!(row("block_cache")[1..], ["4096", "4096"]);
+        assert_eq!(row("shuffle_store")[1..], ["0", "1024"]);
+        assert_eq!(row("total")[1..], ["4096"]);
+        let help = send(server.local_addr(), "help");
+        assert!(help.contains("memory"), "{help}");
+        server.stop();
+    }
+
+    #[test]
     fn in_flight_jobs_show_path_so_far() {
         let recorder = Arc::new(FlightRecorder::new());
         let mut events = sample_stream();
@@ -324,6 +403,7 @@ mod tests {
         assert_eq!(send(addr, "metrics"), "err: no registry attached\n");
         assert_eq!(send(addr, "jobs"), "err: no recorder attached\n");
         assert_eq!(send(addr, "profile"), "err: no profiler attached\n");
+        assert_eq!(send(addr, "memory"), "err: no memory ledger attached\n");
         assert!(send(addr, "frobnicate").starts_with("err: unknown command"));
         assert!(send(addr, "trace nope").starts_with("err: no recorder"));
         // stop() is idempotent and Drop tolerates an already-stopped server.

@@ -20,6 +20,7 @@ use parking_lot::Mutex;
 use sparkscore_cluster::NodeId;
 
 use crate::estimate::{slice_bytes, EstimateSize};
+use crate::ledger::{MemCategory, MemoryLedger};
 use crate::OpId;
 
 /// A typed view of one cached block.
@@ -50,9 +51,13 @@ struct CacheInner {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PutOutcome {
     pub stored: bool,
-    /// Blocks evicted under budget pressure to make room, identified so
-    /// the engine can emit a `CacheEvicted` event per victim.
-    pub evicted: Vec<(OpId, usize)>,
+    /// Exact byte footprint of the offered block, whether it was stored
+    /// or rejected as oversized.
+    pub bytes: u64,
+    /// Blocks evicted under budget pressure to make room, identified with
+    /// their exact bytes so the engine can emit a byte-accurate
+    /// `CacheEvicted` event per victim.
+    pub evicted: Vec<(OpId, usize, u64)>,
 }
 
 impl PutOutcome {
@@ -62,17 +67,28 @@ impl PutOutcome {
     }
 }
 
-/// LRU block cache with a byte budget.
+/// LRU block cache with a byte budget. Every byte entering or leaving the
+/// cache is mirrored to the shared [`MemoryLedger`] under
+/// [`MemCategory::BlockCache`], at the mutation site, while the cache lock
+/// is held — the ledger never scans the cache.
 pub struct CacheManager {
     inner: Mutex<CacheInner>,
     budget_bytes: u64,
+    ledger: Arc<MemoryLedger>,
 }
 
 impl CacheManager {
+    /// Cache over a private ledger (tests, standalone use).
     pub fn new(budget_bytes: u64) -> Self {
+        Self::with_ledger(budget_bytes, Arc::new(MemoryLedger::new()))
+    }
+
+    /// Cache mirroring its residency into a shared engine ledger.
+    pub fn with_ledger(budget_bytes: u64, ledger: Arc<MemoryLedger>) -> Self {
         CacheManager {
             inner: Mutex::new(CacheInner::default()),
             budget_bytes,
+            ledger,
         }
     }
 
@@ -90,7 +106,8 @@ impl CacheManager {
     }
 
     /// Stop caching an op and drop its blocks (Spark `unpersist`).
-    pub fn unmark(&self, op: OpId) -> usize {
+    /// Returns each dropped block's partition and exact bytes.
+    pub fn unmark(&self, op: OpId) -> Vec<(usize, u64)> {
         let mut g = self.inner.lock();
         g.marked.remove(&op);
         let keys: Vec<_> = g
@@ -99,12 +116,15 @@ impl CacheManager {
             .filter(|(o, _)| *o == op)
             .copied()
             .collect();
+        let mut dropped = Vec::with_capacity(keys.len());
         for k in &keys {
             if let Some(e) = g.entries.remove(k) {
                 g.used_bytes -= e.bytes;
+                self.ledger.sub(MemCategory::BlockCache, e.bytes);
+                dropped.push((k.1, e.bytes));
             }
         }
-        keys.len()
+        dropped
     }
 
     pub fn is_marked(&self, op: OpId) -> bool {
@@ -143,6 +163,7 @@ impl CacheManager {
         if bytes > self.budget_bytes {
             return PutOutcome {
                 stored: false,
+                bytes,
                 evicted: Vec::new(),
             };
         }
@@ -158,7 +179,8 @@ impl CacheManager {
                 Some(k) => {
                     if let Some(e) = g.entries.remove(&k) {
                         g.used_bytes -= e.bytes;
-                        evicted.push(k);
+                        self.ledger.sub(MemCategory::BlockCache, e.bytes);
+                        evicted.push((k.0, k.1, e.bytes));
                     }
                 }
                 None => break,
@@ -176,17 +198,21 @@ impl CacheManager {
             },
         ) {
             g.used_bytes -= old.bytes;
+            self.ledger.sub(MemCategory::BlockCache, old.bytes);
         }
         g.used_bytes += bytes;
+        self.ledger.add(MemCategory::BlockCache, bytes);
         g.ever_present.insert((op, part));
         PutOutcome {
             stored: true,
+            bytes,
             evicted,
         }
     }
 
-    /// Drop all blocks living on a dead node. Returns how many were lost.
-    pub fn drop_node(&self, node: NodeId) -> usize {
+    /// Drop all blocks living on a dead node. Returns each lost block's
+    /// identity and exact bytes.
+    pub fn drop_node(&self, node: NodeId) -> Vec<(OpId, usize, u64)> {
         let mut g = self.inner.lock();
         let keys: Vec<_> = g
             .entries
@@ -194,27 +220,34 @@ impl CacheManager {
             .filter(|(_, e)| e.node == node)
             .map(|(k, _)| *k)
             .collect();
+        let mut dropped = Vec::with_capacity(keys.len());
         for k in &keys {
             if let Some(e) = g.entries.remove(k) {
                 g.used_bytes -= e.bytes;
+                self.ledger.sub(MemCategory::BlockCache, e.bytes);
+                dropped.push((k.0, k.1, e.bytes));
             }
         }
-        keys.len()
+        dropped
     }
 
     /// Drop the single least-recently-used block (fault injection).
-    /// Returns the dropped block's identity, if any block was resident.
-    pub fn drop_lru_one(&self) -> Option<(OpId, usize)> {
+    /// Returns the dropped block's identity and bytes, if any block was
+    /// resident.
+    pub fn drop_lru_one(&self) -> Option<(OpId, usize, u64)> {
         let mut g = self.inner.lock();
         let victim = g
             .entries
             .iter()
             .min_by_key(|(_, e)| e.last_used)
             .map(|(k, _)| *k)?;
+        let mut bytes = 0;
         if let Some(e) = g.entries.remove(&victim) {
             g.used_bytes -= e.bytes;
+            self.ledger.sub(MemCategory::BlockCache, e.bytes);
+            bytes = e.bytes;
         }
-        Some(victim)
+        Some((victim.0, victim.1, bytes))
     }
 
     /// How many partitions of `op` are currently resident.
@@ -225,6 +258,18 @@ impl CacheManager {
             .keys()
             .filter(|(o, _)| *o == op)
             .count()
+    }
+
+    /// Exact bytes currently resident for `op`, summed over its cached
+    /// partitions.
+    pub fn resident_bytes(&self, op: OpId) -> u64 {
+        self.inner
+            .lock()
+            .entries
+            .iter()
+            .filter(|((o, _), _)| *o == op)
+            .map(|(_, e)| e.bytes)
+            .sum()
     }
 }
 
@@ -271,7 +316,12 @@ mod tests {
         assert!(c.get::<u64>(OpId(1), 0).is_some());
         let out = c.put(OpId(1), 2, block(100), N0);
         assert!(out.stored);
-        assert_eq!(out.evicted, vec![(OpId(1), 1)], "victim is identified");
+        assert_eq!(out.bytes, one);
+        assert_eq!(
+            out.evicted,
+            vec![(OpId(1), 1, one)],
+            "victim is identified with its exact bytes"
+        );
         assert_eq!(out.evicted_blocks(), 1);
         assert!(c.get::<u64>(OpId(1), 0).is_some(), "recently used survives");
         assert!(c.get::<u64>(OpId(1), 1).is_none(), "LRU evicted");
@@ -283,6 +333,7 @@ mod tests {
         let c = CacheManager::new(64);
         let out = c.put(OpId(1), 0, block(1000), N0);
         assert!(!out.stored);
+        assert_eq!(out.bytes, slice_bytes(&vec![0u64; 1000]) as u64);
         assert_eq!(c.used_bytes(), 0);
     }
 
@@ -290,8 +341,9 @@ mod tests {
     fn ever_present_tracks_recompute_eligibility() {
         let c = CacheManager::new(1 << 20);
         assert!(!c.was_ever_present(OpId(1), 0));
+        let one = slice_bytes(&vec![0u64; 1]) as u64;
         c.put(OpId(1), 0, block(1), N0);
-        assert_eq!(c.drop_lru_one(), Some((OpId(1), 0)));
+        assert_eq!(c.drop_lru_one(), Some((OpId(1), 0, one)));
         assert!(c.was_ever_present(OpId(1), 0));
         assert!(c.get::<u64>(OpId(1), 0).is_none());
         assert_eq!(c.drop_lru_one(), None, "cache is empty now");
@@ -302,7 +354,7 @@ mod tests {
         let c = CacheManager::new(1 << 20);
         c.put(OpId(1), 0, block(5), N0);
         c.put(OpId(1), 1, block(5), N1);
-        assert_eq!(c.drop_node(N0), 1);
+        assert_eq!(c.drop_node(N0).len(), 1);
         assert!(c.get::<u64>(OpId(1), 0).is_none());
         assert!(c.get::<u64>(OpId(1), 1).is_some());
     }
@@ -313,7 +365,10 @@ mod tests {
         c.mark(OpId(1));
         c.put(OpId(1), 0, block(5), N0);
         c.put(OpId(1), 1, block(5), N0);
-        assert_eq!(c.unmark(OpId(1)), 2);
+        let five = slice_bytes(&vec![0u64; 5]) as u64;
+        let mut dropped = c.unmark(OpId(1));
+        dropped.sort_unstable();
+        assert_eq!(dropped, vec![(0, five), (1, five)]);
         assert!(!c.is_marked(OpId(1)));
         assert_eq!(c.used_bytes(), 0);
     }
@@ -336,5 +391,39 @@ mod tests {
         assert_eq!(c.resident_partitions(OpId(1)), 2);
         assert_eq!(c.resident_partitions(OpId(2)), 1);
         assert_eq!(c.resident_partitions(OpId(3)), 0);
+    }
+
+    #[test]
+    fn resident_bytes_sums_per_op() {
+        let c = CacheManager::new(1 << 20);
+        let one = slice_bytes(&vec![0u64; 1]) as u64;
+        c.put(OpId(1), 0, block(1), N0);
+        c.put(OpId(1), 3, block(1), N0);
+        c.put(OpId(2), 0, block(1), N0);
+        assert_eq!(c.resident_bytes(OpId(1)), 2 * one);
+        assert_eq!(c.resident_bytes(OpId(2)), one);
+        assert_eq!(c.resident_bytes(OpId(3)), 0);
+    }
+
+    #[test]
+    fn ledger_mirrors_every_mutation_path() {
+        let ledger = Arc::new(MemoryLedger::new());
+        let one = slice_bytes(&vec![0u64; 100]) as u64;
+        let c = CacheManager::with_ledger(2 * one + 8, Arc::clone(&ledger));
+        c.put(OpId(1), 0, block(100), N0);
+        c.put(OpId(1), 1, block(100), N1);
+        assert_eq!(ledger.used(MemCategory::BlockCache), c.used_bytes());
+        c.put(OpId(2), 0, block(100), N0); // forces an LRU eviction
+        assert_eq!(ledger.used(MemCategory::BlockCache), c.used_bytes());
+        c.put(OpId(2), 0, block(100), N0); // replacement
+        assert_eq!(ledger.used(MemCategory::BlockCache), c.used_bytes());
+        c.drop_node(N1);
+        assert_eq!(ledger.used(MemCategory::BlockCache), c.used_bytes());
+        c.drop_lru_one();
+        assert_eq!(ledger.used(MemCategory::BlockCache), c.used_bytes());
+        c.put(OpId(3), 0, block(100), N0);
+        c.unmark(OpId(3));
+        assert_eq!(ledger.used(MemCategory::BlockCache), c.used_bytes());
+        assert_eq!(ledger.peak(MemCategory::BlockCache), 2 * one);
     }
 }

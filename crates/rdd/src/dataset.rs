@@ -355,7 +355,17 @@ impl<T: Data> Dataset<T> {
 
     /// Remove this dataset from the cache (Spark's `unpersist`).
     pub fn unpersist(&self) {
-        self.engine.cache.unmark(self.op.id());
+        let op = self.op.id();
+        for (partition, bytes) in self.engine.cache.unmark(op) {
+            self.engine
+                .events()
+                .emit_with(|| crate::events::EngineEvent::CacheEvicted {
+                    op: op.0,
+                    partition,
+                    pressure: false,
+                    bytes,
+                });
+        }
     }
 
     pub fn is_cached(&self) -> bool {

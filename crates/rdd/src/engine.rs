@@ -33,6 +33,7 @@ use crate::estimate::EstimateSize;
 use crate::events::{
     EngineEvent, EventBus, EventListener, FaultDetail, SpanContext, StageKind, TaskMetrics,
 };
+use crate::ledger::{MemCategory, MemReading, MemoryLedger};
 use crate::meta::MetaRegistry;
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::pool::{ExecutorPool, PoolDiagnostics, TaskSlots};
@@ -161,13 +162,23 @@ impl EngineBuilder {
         for l in self.listeners {
             events.register(l);
         }
+        // One byte ledger for the whole engine: the cache and shuffle
+        // store mirror their residency into it with O(1) deltas at their
+        // own mutation sites; DFS residency is owned by the DFS and polled
+        // through a source closure on refresh.
+        let ledger = Arc::new(MemoryLedger::new());
+        {
+            let dfs = Arc::clone(&dfs);
+            ledger.set_source(MemCategory::DfsBlocks, move || dfs.stored_bytes());
+        }
         Arc::new(Engine {
             cluster,
             dfs,
             layout,
             cost_model: self.cost_model,
-            cache: CacheManager::new(cache_budget),
-            shuffle: ShuffleManager::new(),
+            cache: CacheManager::with_ledger(cache_budget, Arc::clone(&ledger)),
+            shuffle: ShuffleManager::with_ledger(Arc::clone(&ledger)),
+            ledger,
             meta: MetaRegistry::new(),
             metrics: Metrics::new(),
             vclock: VirtualClock::new(),
@@ -196,6 +207,7 @@ pub struct Engine {
     cost_model: CostModel,
     pub(crate) cache: CacheManager,
     pub(crate) shuffle: ShuffleManager,
+    ledger: Arc<MemoryLedger>,
     pub(crate) meta: MetaRegistry,
     pub(crate) metrics: Metrics,
     vclock: VirtualClock,
@@ -255,6 +267,25 @@ impl Engine {
     /// sharded store (live gauge for the pool profiler).
     pub fn shuffle_shard_occupancy(&self) -> Vec<usize> {
         self.shuffle.shard_occupancy()
+    }
+
+    /// The engine's central byte ledger: one slot per [`MemCategory`],
+    /// kept current by the cache and shuffle store at their mutation
+    /// sites. Register external sources (e.g. kernel scratch) here.
+    pub fn memory_ledger(&self) -> &Arc<MemoryLedger> {
+        &self.ledger
+    }
+
+    /// Refresh the ledger's polled sources and return one reading per
+    /// category, in canonical order.
+    pub fn memory_snapshot(&self) -> Vec<MemReading> {
+        self.ledger.refresh();
+        self.ledger.snapshot()
+    }
+
+    /// Exact bytes currently resident in the cache for one operator.
+    pub fn cache_resident_bytes(&self, op: OpId) -> u64 {
+        self.cache.resident_bytes(op)
     }
 
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
@@ -558,6 +589,11 @@ impl Engine {
                     });
                 }
             }
+            // One memory pulse per non-empty stage, sampled after the
+            // stage's puts and evictions have settled, rides in the same
+            // batch (empty stages keep their exact Submitted/Completed
+            // pair).
+            batch.push(self.memory_watermark_event(stage));
             batch.push(EngineEvent::StageCompleted {
                 job,
                 stage,
@@ -666,6 +702,21 @@ impl Engine {
         out
     }
 
+    /// Sample the ledger into a per-stage watermark event. Polled sources
+    /// are refreshed first so DFS/scratch residency is current.
+    fn memory_watermark_event(&self, stage: u64) -> EngineEvent {
+        self.ledger.refresh();
+        EngineEvent::MemoryWatermark {
+            stage,
+            block_cache_bytes: self.ledger.used(MemCategory::BlockCache),
+            shuffle_store_bytes: self.ledger.used(MemCategory::ShuffleStore),
+            dfs_blocks_bytes: self.ledger.used(MemCategory::DfsBlocks),
+            scratch_bytes: self.ledger.used(MemCategory::Scratch),
+            cache_budget_bytes: self.cache.budget_bytes(),
+            mono_ns: self.mono_ns(),
+        }
+    }
+
     fn on_task_complete(&self) {
         let plan = Arc::clone(&self.fault_plan.read());
         for event in plan.on_task_complete() {
@@ -678,7 +729,7 @@ impl Engine {
             FaultEvent::KillNode(node) => {
                 if self.cluster.kill_node(node) {
                     self.dfs.drop_node_replicas(node);
-                    self.cache.drop_node(node);
+                    let lost_blocks = self.cache.drop_node(node);
                     self.shuffle.drop_node(node);
                     self.vsched.lock().remove_node_checked(node);
                     self.events.emit_with(|| EngineEvent::FaultInjected {
@@ -686,10 +737,21 @@ impl Engine {
                             node: u64::from(node.0),
                         },
                     });
+                    // Each cached block lost with the node leaves the byte
+                    // economy through an explicit eviction event, so event
+                    // replay reaches the same ledger state.
+                    for (op, partition, bytes) in lost_blocks {
+                        self.events.emit_with(|| EngineEvent::CacheEvicted {
+                            op: op.0,
+                            partition,
+                            pressure: false,
+                            bytes,
+                        });
+                    }
                 }
             }
             FaultEvent::DropCachedBlock => {
-                if let Some((op, partition)) = self.cache.drop_lru_one() {
+                if let Some((op, partition, bytes)) = self.cache.drop_lru_one() {
                     self.events.emit_with(|| EngineEvent::FaultInjected {
                         fault: FaultDetail::DropCachedBlock {
                             op: op.0,
@@ -700,6 +762,7 @@ impl Engine {
                         op: op.0,
                         partition,
                         pressure: false,
+                        bytes,
                     });
                 }
             }
@@ -762,7 +825,17 @@ impl Drop for OpGuard {
     fn drop(&mut self) {
         if let Some(engine) = self.engine.upgrade() {
             engine.meta.remove(self.op);
-            engine.cache.unmark(self.op);
+            let op = self.op;
+            // Unpersist is the third way bytes leave the cache; emit the
+            // same byte-accurate eviction events the other paths do.
+            for (partition, bytes) in engine.cache.unmark(op) {
+                engine.events.emit_with(|| EngineEvent::CacheEvicted {
+                    op: op.0,
+                    partition,
+                    pressure: false,
+                    bytes,
+                });
+            }
             for &sid in &self.shuffles {
                 engine.shuffle.unregister(sid);
             }

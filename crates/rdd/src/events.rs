@@ -224,12 +224,47 @@ pub enum EngineEvent {
         /// Monotonic engine time at interval end.
         end_ns: u64,
     },
+    /// A block was admitted to the cache with this exact byte footprint.
+    CacheAdmitted {
+        op: u64,
+        partition: usize,
+        bytes: u64,
+    },
+    /// A block was offered to the cache but not stored (larger than the
+    /// whole budget); the bytes that failed to become resident.
+    CacheRejected {
+        op: u64,
+        partition: usize,
+        bytes: u64,
+    },
     /// A cached block left the cache: LRU pressure (`pressure: true`) or a
-    /// fault/unpersist path (`pressure: false`).
+    /// fault/unpersist path (`pressure: false`). `bytes` is the block's
+    /// exact resident footprint (0 in logs written before the memory
+    /// plane).
     CacheEvicted {
         op: u64,
         partition: usize,
         pressure: bool,
+        bytes: u64,
+    },
+    /// One map task's output landed in the shuffle store: the total bucket
+    /// bytes now resident for `(shuffle, map_part)`.
+    ShuffleBytesStored {
+        shuffle: u64,
+        map_part: usize,
+        bytes: u64,
+    },
+    /// Per-category resident bytes sampled at a stage boundary — the
+    /// memory plane's periodic pulse, one sample per non-empty stage.
+    MemoryWatermark {
+        stage: u64,
+        block_cache_bytes: u64,
+        shuffle_store_bytes: u64,
+        dfs_blocks_bytes: u64,
+        scratch_bytes: u64,
+        /// The cache's configured byte budget (headroom denominator).
+        cache_budget_bytes: u64,
+        mono_ns: u64,
     },
     /// A lost shuffle map output was recomputed inline by a reducer.
     ShuffleMapRerun {
@@ -401,7 +436,11 @@ impl EngineEvent {
             EngineEvent::TaskStart { .. } => "TaskStart",
             EngineEvent::TaskEnd { .. } => "TaskEnd",
             EngineEvent::Span { .. } => "Span",
+            EngineEvent::CacheAdmitted { .. } => "CacheAdmitted",
+            EngineEvent::CacheRejected { .. } => "CacheRejected",
             EngineEvent::CacheEvicted { .. } => "CacheEvicted",
+            EngineEvent::ShuffleBytesStored { .. } => "ShuffleBytesStored",
+            EngineEvent::MemoryWatermark { .. } => "MemoryWatermark",
             EngineEvent::ShuffleMapRerun { .. } => "ShuffleMapRerun",
             EngineEvent::FaultInjected { .. } => "FaultInjected",
         }
@@ -497,15 +536,65 @@ impl EngineEvent {
                 "start_ns": *start_ns,
                 "end_ns": *end_ns,
             }),
+            EngineEvent::CacheAdmitted {
+                op,
+                partition,
+                bytes,
+            } => serde_json::json!({
+                "Event": "CacheAdmitted",
+                "op": *op,
+                "partition": *partition as u64,
+                "bytes": *bytes,
+            }),
+            EngineEvent::CacheRejected {
+                op,
+                partition,
+                bytes,
+            } => serde_json::json!({
+                "Event": "CacheRejected",
+                "op": *op,
+                "partition": *partition as u64,
+                "bytes": *bytes,
+            }),
             EngineEvent::CacheEvicted {
                 op,
                 partition,
                 pressure,
+                bytes,
             } => serde_json::json!({
                 "Event": "CacheEvicted",
                 "op": *op,
                 "partition": *partition as u64,
                 "pressure": *pressure,
+                "bytes": *bytes,
+            }),
+            EngineEvent::ShuffleBytesStored {
+                shuffle,
+                map_part,
+                bytes,
+            } => serde_json::json!({
+                "Event": "ShuffleBytesStored",
+                "shuffle": *shuffle,
+                "map_part": *map_part as u64,
+                "bytes": *bytes,
+            }),
+            EngineEvent::MemoryWatermark {
+                stage,
+                block_cache_bytes,
+                shuffle_store_bytes,
+                dfs_blocks_bytes,
+                scratch_bytes,
+                cache_budget_bytes,
+                mono_ns,
+            } => serde_json::json!({
+                "Event": "MemoryWatermark",
+                "stage": *stage,
+                "block_cache_bytes": *block_cache_bytes,
+                "shuffle_store_bytes": *shuffle_store_bytes,
+                "dfs_blocks_bytes": *dfs_blocks_bytes,
+                "scratch_bytes": *scratch_bytes,
+                "cache_budget_bytes": *cache_budget_bytes,
+                "mono_ns": *mono_ns,
             }),
             EngineEvent::ShuffleMapRerun { shuffle, map_part } => serde_json::json!({
                 "Event": "ShuffleMapRerun",
@@ -580,10 +669,36 @@ impl EngineEvent {
                 start_ns: get_u64(v, "start_ns")?,
                 end_ns: get_u64(v, "end_ns")?,
             }),
+            "CacheAdmitted" => Ok(EngineEvent::CacheAdmitted {
+                op: get_u64(v, "op")?,
+                partition: get_usize(v, "partition")?,
+                bytes: get_u64(v, "bytes")?,
+            }),
+            "CacheRejected" => Ok(EngineEvent::CacheRejected {
+                op: get_u64(v, "op")?,
+                partition: get_usize(v, "partition")?,
+                bytes: get_u64(v, "bytes")?,
+            }),
             "CacheEvicted" => Ok(EngineEvent::CacheEvicted {
                 op: get_u64(v, "op")?,
                 partition: get_usize(v, "partition")?,
                 pressure: get_bool(v, "pressure")?,
+                // Absent in event logs written before the memory plane.
+                bytes: get_u64_or(v, "bytes", 0)?,
+            }),
+            "ShuffleBytesStored" => Ok(EngineEvent::ShuffleBytesStored {
+                shuffle: get_u64(v, "shuffle")?,
+                map_part: get_usize(v, "map_part")?,
+                bytes: get_u64(v, "bytes")?,
+            }),
+            "MemoryWatermark" => Ok(EngineEvent::MemoryWatermark {
+                stage: get_u64(v, "stage")?,
+                block_cache_bytes: get_u64(v, "block_cache_bytes")?,
+                shuffle_store_bytes: get_u64(v, "shuffle_store_bytes")?,
+                dfs_blocks_bytes: get_u64(v, "dfs_blocks_bytes")?,
+                scratch_bytes: get_u64(v, "scratch_bytes")?,
+                cache_budget_bytes: get_u64(v, "cache_budget_bytes")?,
+                mono_ns: get_u64(v, "mono_ns")?,
             }),
             "ShuffleMapRerun" => Ok(EngineEvent::ShuffleMapRerun {
                 shuffle: get_u64(v, "shuffle")?,
@@ -1096,6 +1211,10 @@ pub struct RegistryListener {
     cache_misses: Arc<Counter>,
     cache_evictions_pressure: Arc<Counter>,
     cache_evictions_other: Arc<Counter>,
+    cache_admitted_bytes: Arc<Counter>,
+    cache_rejected_bytes: Arc<Counter>,
+    cache_evicted_bytes: Arc<Counter>,
+    shuffle_stored_bytes: Arc<Counter>,
     recomputed_partitions: Arc<Counter>,
     kernel_rows: Arc<Counter>,
     scratch_reuses: Arc<Counter>,
@@ -1142,6 +1261,22 @@ impl RegistryListener {
             cache_evictions_other: c(
                 "sparkscore_cache_evictions_other_total",
                 "Cached blocks dropped by faults or unpersist",
+            ),
+            cache_admitted_bytes: c(
+                "sparkscore_cache_admitted_bytes_total",
+                "Bytes admitted to the block cache",
+            ),
+            cache_rejected_bytes: c(
+                "sparkscore_cache_rejected_bytes_total",
+                "Bytes offered to the block cache but too large to store",
+            ),
+            cache_evicted_bytes: c(
+                "sparkscore_cache_evicted_bytes_total",
+                "Bytes evicted or dropped from the block cache",
+            ),
+            shuffle_stored_bytes: c(
+                "sparkscore_shuffle_stored_bytes_total",
+                "Map-output bytes stored into the shuffle store",
             ),
             recomputed_partitions: c(
                 "sparkscore_recomputed_partitions_total",
@@ -1210,7 +1345,10 @@ impl EventListener for RegistryListener {
             }
             EngineEvent::StageSubmitted { .. }
             | EngineEvent::TaskStart { .. }
-            | EngineEvent::Span { .. } => {}
+            | EngineEvent::Span { .. }
+            // The live per-category gauges come from the profiler's ledger
+            // refresh; the watermark event is for logs and the recorder.
+            | EngineEvent::MemoryWatermark { .. } => {}
             EngineEvent::StageCompleted { .. } => self.stages_completed.inc(),
             EngineEvent::TaskEnd { metrics, .. } => {
                 self.tasks_completed.inc();
@@ -1229,13 +1367,19 @@ impl EventListener for RegistryListener {
                 self.task_virtual_ns.observe(metrics.virtual_runtime_ns());
                 self.task_wall_ns.observe(metrics.wall_ns);
             }
-            EngineEvent::CacheEvicted { pressure, .. } => {
+            EngineEvent::CacheAdmitted { bytes, .. } => self.cache_admitted_bytes.add(*bytes),
+            EngineEvent::CacheRejected { bytes, .. } => self.cache_rejected_bytes.add(*bytes),
+            EngineEvent::CacheEvicted {
+                pressure, bytes, ..
+            } => {
                 if *pressure {
                     self.cache_evictions_pressure.inc();
                 } else {
                     self.cache_evictions_other.inc();
                 }
+                self.cache_evicted_bytes.add(*bytes);
             }
+            EngineEvent::ShuffleBytesStored { bytes, .. } => self.shuffle_stored_bytes.add(*bytes),
             EngineEvent::ShuffleMapRerun { .. } => self.shuffle_map_reruns.inc(),
             EngineEvent::FaultInjected { .. } => self.faults_injected.inc(),
         }
@@ -1313,10 +1457,35 @@ mod tests {
                 span: SpanContext::NONE,
                 mono_ns: 1_200,
             },
+            EngineEvent::CacheAdmitted {
+                op: 7,
+                partition: 3,
+                bytes: 4_096,
+            },
+            EngineEvent::CacheRejected {
+                op: 8,
+                partition: 0,
+                bytes: 1 << 30,
+            },
             EngineEvent::CacheEvicted {
                 op: 7,
                 partition: 3,
                 pressure: true,
+                bytes: 4_096,
+            },
+            EngineEvent::ShuffleBytesStored {
+                shuffle: 5,
+                map_part: 1,
+                bytes: 2_048,
+            },
+            EngineEvent::MemoryWatermark {
+                stage: 1,
+                block_cache_bytes: 4_096,
+                shuffle_store_bytes: 2_048,
+                dfs_blocks_bytes: 8_192,
+                scratch_bytes: 512,
+                cache_budget_bytes: 1 << 20,
+                mono_ns: 1_050,
             },
             EngineEvent::ShuffleMapRerun {
                 shuffle: 5,
@@ -1373,6 +1542,23 @@ mod tests {
             panic!("expected StageSubmitted");
         };
         assert!(span.is_none());
+    }
+
+    #[test]
+    fn pre_memory_plane_evictions_still_parse() {
+        // Logs written before the memory plane carry no "bytes" field on
+        // CacheEvicted; it must default to zero.
+        let legacy = "{\"Event\":\"CacheEvicted\",\"op\":7,\"partition\":3,\"pressure\":true}\n";
+        let events = parse_event_log(legacy).unwrap();
+        assert_eq!(
+            events,
+            vec![EngineEvent::CacheEvicted {
+                op: 7,
+                partition: 3,
+                pressure: true,
+                bytes: 0,
+            }]
+        );
     }
 
     #[test]
@@ -1604,6 +1790,18 @@ mod tests {
         assert!(text.contains("sparkscore_cache_hits_total 1"), "{text}");
         assert!(
             text.contains("sparkscore_cache_evictions_pressure_total 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("sparkscore_cache_admitted_bytes_total 4096"),
+            "{text}"
+        );
+        assert!(
+            text.contains("sparkscore_cache_evicted_bytes_total 4096"),
+            "{text}"
+        );
+        assert!(
+            text.contains("sparkscore_shuffle_stored_bytes_total 2048"),
             "{text}"
         );
         assert!(

@@ -45,6 +45,7 @@ pub mod dataset;
 pub mod engine;
 pub mod estimate;
 pub mod events;
+pub mod ledger;
 pub mod meta;
 pub mod metrics;
 pub mod ops;
@@ -62,6 +63,7 @@ pub use events::{
     MemoryEventListener, RegistryListener, SpanContext, StageKind, StageSummaryListener,
     TaskMetrics,
 };
+pub use ledger::{MemCategory, MemReading, MemoryLedger};
 pub use metrics::{Counter, Gauge, Histogram, MetricsSnapshot, Registry};
 pub use ops::shuffled::Aggregator;
 pub use ops::Data;

@@ -62,13 +62,31 @@ pub fn materialize<T: Data>(op: &Arc<dyn Op<T>>, part: usize, ctx: &TaskCtx<'_>)
     let node = engine.node_for_block(id.0, part as u64);
     let outcome = engine.cache.put(id, part, Arc::clone(&data), node);
     Metrics::add(&engine.metrics.cache_evictions, outcome.evicted_blocks());
-    for &(victim_op, victim_part) in &outcome.evicted {
+    for &(victim_op, victim_part, victim_bytes) in &outcome.evicted {
         engine
             .events()
             .emit_with(|| crate::events::EngineEvent::CacheEvicted {
                 op: victim_op.0,
                 partition: victim_part,
                 pressure: true,
+                bytes: victim_bytes,
+            });
+    }
+    if outcome.stored {
+        engine
+            .events()
+            .emit_with(|| crate::events::EngineEvent::CacheAdmitted {
+                op: id.0,
+                partition: part,
+                bytes: outcome.bytes,
+            });
+    } else {
+        engine
+            .events()
+            .emit_with(|| crate::events::EngineEvent::CacheRejected {
+                op: id.0,
+                partition: part,
+                bytes: outcome.bytes,
             });
     }
     data

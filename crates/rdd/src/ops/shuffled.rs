@@ -113,7 +113,14 @@ pub(crate) fn register_shuffle_map<K, V, C>(
                     }
                 })
                 .collect();
-            engine.shuffle.put_map_output(sid, map_part, buckets, node);
+            let stored = engine.shuffle.put_map_output(sid, map_part, buckets, node);
+            engine
+                .events()
+                .emit_with(|| crate::events::EngineEvent::ShuffleBytesStored {
+                    shuffle: sid.0,
+                    map_part,
+                    bytes: stored,
+                });
         });
     });
     engine.shuffle.register(

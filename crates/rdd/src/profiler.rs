@@ -22,6 +22,7 @@ use std::time::Duration;
 use parking_lot::Mutex;
 
 use crate::engine::Engine;
+use crate::ledger::MemCategory;
 use crate::metrics::{Gauge, Registry};
 use crate::pool::ParticipantState;
 use crate::recorder::FlightRecorder;
@@ -123,6 +124,9 @@ struct LiveGauges {
     pool_parked: Arc<Gauge>,
     pool_queue_depth: Arc<Gauge>,
     recorder_backlog_events: Arc<Gauge>,
+    /// Per-category ledger gauges, in [`MemCategory::ALL`] order.
+    mem_used: Vec<Arc<Gauge>>,
+    mem_peak: Vec<Arc<Gauge>>,
 }
 
 impl LiveGauges {
@@ -170,6 +174,24 @@ impl LiveGauges {
                 "sparkscore_recorder_backlog_events",
                 "Events retained by the flight recorder",
             ),
+            mem_used: MemCategory::ALL
+                .iter()
+                .map(|c| {
+                    registry.gauge(
+                        &format!("sparkscore_mem_{}_used_bytes", c.name()),
+                        "Bytes currently resident in this memory-ledger category",
+                    )
+                })
+                .collect(),
+            mem_peak: MemCategory::ALL
+                .iter()
+                .map(|c| {
+                    registry.gauge(
+                        &format!("sparkscore_mem_{}_peak_bytes", c.name()),
+                        "High watermark of this memory-ledger category",
+                    )
+                })
+                .collect(),
         }
     }
 }
@@ -291,6 +313,10 @@ fn sample_loop(
             g.pool_stealing.set(count(ParticipantState::Stealing));
             g.pool_parked.set(count(ParticipantState::Parked));
             g.pool_queue_depth.set(queue_depth as i64);
+            for (i, r) in engine.memory_snapshot().iter().enumerate() {
+                g.mem_used[i].set(r.used as i64);
+                g.mem_peak[i].set(r.peak as i64);
+            }
             if let Some(rec) = &recorder {
                 g.recorder_backlog_events.set(rec.backlog_events() as i64);
             }
@@ -406,6 +432,14 @@ mod tests {
         );
         let used = registry.gauge("sparkscore_cache_used_bytes", "").get();
         assert!(used > 0, "cached blocks must show up in the gauge");
+        let mem_used = registry
+            .gauge("sparkscore_mem_block_cache_used_bytes", "")
+            .get();
+        assert_eq!(mem_used, used, "ledger gauge mirrors the cache gauge");
+        assert!(
+            text.contains("sparkscore_mem_shuffle_store_peak_bytes"),
+            "{text}"
+        );
         let backlog = registry
             .gauge("sparkscore_recorder_backlog_events", "")
             .get();

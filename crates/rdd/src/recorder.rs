@@ -230,7 +230,9 @@ impl FlightRecorder {
                 st.current_job = Some(*job);
                 self.ring_for(st, *job).ring.push(event.clone());
             }
-            EngineEvent::TaskStart { stage, .. } | EngineEvent::TaskEnd { stage, .. } => {
+            EngineEvent::TaskStart { stage, .. }
+            | EngineEvent::TaskEnd { stage, .. }
+            | EngineEvent::MemoryWatermark { stage, .. } => {
                 match st.stage_job.get(stage).copied() {
                     Some(job) => {
                         st.current_job = Some(job);
@@ -431,6 +433,7 @@ mod tests {
             op: 1,
             partition: 0,
             pressure: true,
+            bytes: 64,
         });
         assert!(rec.jobs().is_empty());
         assert_eq!(rec.backlog_events(), 1);

@@ -15,12 +15,14 @@ use std::any::Any;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 use sparkscore_cluster::NodeId;
 
 use crate::context::TaskCtx;
+use crate::ledger::{MemCategory, MemoryLedger};
 use crate::ShuffleId;
 
 /// Number of lock shards the map-output store is split across. Map tasks
@@ -69,6 +71,12 @@ impl HashPartitioner {
 struct MapOutput {
     buckets: Vec<Bucket>,
     node: NodeId,
+}
+
+impl MapOutput {
+    fn bytes(&self) -> u64 {
+        self.buckets.iter().map(|b| b.bytes).sum()
+    }
 }
 
 /// Type-erased shuffle bucket.
@@ -121,6 +129,11 @@ type OutputShard = Mutex<HashMap<(ShuffleId, usize), MapOutput>>;
 pub struct ShuffleManager {
     stages: RwLock<HashMap<ShuffleId, Arc<ShuffleStage>>>,
     shards: [OutputShard; SHUFFLE_SHARDS],
+    /// Running total of bucket bytes across all shards, maintained by
+    /// O(1) deltas at every write/cleanup site — `stored_bytes` reads this
+    /// instead of scanning 16 shards.
+    total_bytes: AtomicU64,
+    ledger: Arc<MemoryLedger>,
 }
 
 #[inline]
@@ -133,6 +146,32 @@ impl ShuffleManager {
         Self::default()
     }
 
+    /// Manager mirroring its residency into a shared engine ledger.
+    pub fn with_ledger(ledger: Arc<MemoryLedger>) -> Self {
+        ShuffleManager {
+            ledger,
+            ..Self::default()
+        }
+    }
+
+    /// Bytes became resident: bump the running counter and the ledger.
+    fn credit(&self, bytes: u64) {
+        if bytes == 0 {
+            return;
+        }
+        self.total_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.ledger.add(MemCategory::ShuffleStore, bytes);
+    }
+
+    /// Bytes left the store: both mirrors go down by the same delta.
+    fn debit(&self, bytes: u64) {
+        if bytes == 0 {
+            return;
+        }
+        self.total_bytes.fetch_sub(bytes, Ordering::Relaxed);
+        self.ledger.sub(MemCategory::ShuffleStore, bytes);
+    }
+
     pub fn register(&self, sid: ShuffleId, stage: ShuffleStage) {
         self.stages.write().insert(sid, Arc::new(stage));
     }
@@ -141,9 +180,17 @@ impl ShuffleManager {
     /// operator is dropped — Spark's `ContextCleaner` equivalent).
     pub fn unregister(&self, sid: ShuffleId) {
         self.stages.write().remove(&sid);
+        let mut freed = 0;
         for shard in &self.shards {
-            shard.lock().retain(|(s, _), _| *s != sid);
+            shard.lock().retain(|(s, _), o| {
+                let keep = *s != sid;
+                if !keep {
+                    freed += o.bytes();
+                }
+                keep
+            });
         }
+        self.debit(freed);
     }
 
     pub fn stage_shape(&self, sid: ShuffleId) -> Option<(usize, usize)> {
@@ -222,17 +269,26 @@ impl ShuffleManager {
             .contains_key(&(sid, map_part))
     }
 
-    /// Store one map task's buckets (one per reduce partition).
+    /// Store one map task's buckets (one per reduce partition). Returns
+    /// the bucket bytes now resident for `(sid, map_part)`, so the caller
+    /// can emit a byte-accurate event.
     pub fn put_map_output(
         &self,
         sid: ShuffleId,
         map_part: usize,
         buckets: Vec<Bucket>,
         node: NodeId,
-    ) {
-        self.shards[shard_index(sid, map_part)]
+    ) -> u64 {
+        let output = MapOutput { buckets, node };
+        let bytes = output.bytes();
+        let replaced = self.shards[shard_index(sid, map_part)]
             .lock()
-            .insert((sid, map_part), MapOutput { buckets, node });
+            .insert((sid, map_part), output);
+        if let Some(old) = replaced {
+            self.debit(old.bytes());
+        }
+        self.credit(bytes);
+        bytes
     }
 
     /// Fetch one bucket; `None` if the map output is missing (lost or not
@@ -280,12 +336,19 @@ impl ShuffleManager {
     /// Drop every map output resident on `node`. Returns how many.
     pub fn drop_node(&self, node: NodeId) -> usize {
         let mut dropped = 0;
+        let mut freed = 0;
         for shard in &self.shards {
             let mut g = shard.lock();
-            let before = g.len();
-            g.retain(|_, o| o.node != node);
-            dropped += before - g.len();
+            g.retain(|_, o| {
+                let keep = o.node != node;
+                if !keep {
+                    dropped += 1;
+                    freed += o.bytes();
+                }
+                keep
+            });
         }
+        self.debit(freed);
         dropped
     }
 
@@ -301,26 +364,28 @@ impl ShuffleManager {
                 .min()?;
             // Concurrent removal between scan and re-lock is possible;
             // retry until the chosen victim is actually ours to drop.
-            if self.shards[shard_index(victim.0, victim.1)]
+            if let Some(o) = self.shards[shard_index(victim.0, victim.1)]
                 .lock()
                 .remove(&victim)
-                .is_some()
             {
+                self.debit(o.bytes());
                 return Some(victim);
             }
         }
     }
 
-    /// Total bytes held across all buckets (diagnostics).
+    /// Total bytes held across all buckets — an O(1) read of the running
+    /// counter, safe to call from hot paths and profiler ticks.
     pub fn stored_bytes(&self) -> u64 {
+        self.total_bytes.load(Ordering::Relaxed)
+    }
+
+    /// The old full-scan total, kept as the ground truth the running
+    /// counter is cross-checked against in tests.
+    pub fn stored_bytes_scan(&self) -> u64 {
         self.shards
             .iter()
-            .map(|s| {
-                s.lock()
-                    .values()
-                    .flat_map(|o| o.buckets.iter().map(|b| b.bytes))
-                    .sum::<u64>()
-            })
+            .map(|s| s.lock().values().map(MapOutput::bytes).sum::<u64>())
             .sum()
     }
 
@@ -346,6 +411,16 @@ mod tests {
             data: Arc::new(v),
             bytes,
         }
+    }
+
+    /// The running counter must agree with the ground-truth shard scan
+    /// after every mutation.
+    fn check_counter(m: &ShuffleManager) {
+        debug_assert_eq!(
+            m.stored_bytes(),
+            m.stored_bytes_scan(),
+            "running byte counter diverged from the shard scan"
+        );
     }
 
     fn stage(maps: usize, reduces: usize) -> ShuffleStage {
@@ -404,9 +479,11 @@ mod tests {
         let sid = ShuffleId(1);
         m.register(sid, stage(1, 1));
         m.put_map_output(sid, 0, vec![bucket(vec![1])], NodeId(0));
+        check_counter(&m);
         m.unregister(sid);
         assert_eq!(m.num_registered(), 0);
         assert_eq!(m.stored_bytes(), 0);
+        check_counter(&m);
         assert!(
             m.missing_map_parts(sid).is_empty(),
             "unknown shuffle has no parts"
@@ -422,6 +499,7 @@ mod tests {
         m.put_map_output(sid, 1, vec![bucket(vec![2])], NodeId(1));
         assert_eq!(m.drop_node(NodeId(0)), 1);
         assert_eq!(m.missing_map_parts(sid), vec![0]);
+        check_counter(&m);
     }
 
     #[test]
@@ -437,8 +515,11 @@ mod tests {
             vec![0],
             "smallest key dropped first"
         );
+        check_counter(&m);
         assert_eq!(m.drop_one(), Some((sid, 1)));
         assert_eq!(m.drop_one(), None);
+        assert_eq!(m.stored_bytes(), 0);
+        check_counter(&m);
     }
 
     #[test]
@@ -446,9 +527,37 @@ mod tests {
         let m = ShuffleManager::new();
         let sid = ShuffleId(1);
         m.register(sid, stage(1, 2));
-        m.put_map_output(sid, 0, vec![bucket(vec![1, 2]), bucket(vec![3])], NodeId(0));
+        let stored = m.put_map_output(sid, 0, vec![bucket(vec![1, 2]), bucket(vec![3])], NodeId(0));
+        assert_eq!(stored, 12);
         assert_eq!(m.stored_bytes(), 12);
+        check_counter(&m);
         assert_eq!(m.shard_occupancy().len(), SHUFFLE_SHARDS);
         assert_eq!(m.shard_occupancy().iter().sum::<usize>(), 1);
+    }
+
+    #[test]
+    fn replacement_put_does_not_double_count() {
+        let m = ShuffleManager::new();
+        let sid = ShuffleId(1);
+        m.register(sid, stage(1, 1));
+        m.put_map_output(sid, 0, vec![bucket(vec![1, 2, 3])], NodeId(0));
+        m.put_map_output(sid, 0, vec![bucket(vec![4])], NodeId(0));
+        assert_eq!(m.stored_bytes(), 4);
+        check_counter(&m);
+    }
+
+    #[test]
+    fn ledger_mirrors_store_residency() {
+        let ledger = Arc::new(MemoryLedger::new());
+        let m = ShuffleManager::with_ledger(Arc::clone(&ledger));
+        let sid = ShuffleId(1);
+        m.register(sid, stage(2, 1));
+        m.put_map_output(sid, 0, vec![bucket(vec![1, 2])], NodeId(0));
+        m.put_map_output(sid, 1, vec![bucket(vec![3])], NodeId(0));
+        assert_eq!(ledger.used(MemCategory::ShuffleStore), m.stored_bytes());
+        assert_eq!(ledger.peak(MemCategory::ShuffleStore), 12);
+        m.unregister(sid);
+        assert_eq!(ledger.used(MemCategory::ShuffleStore), 0);
+        check_counter(&m);
     }
 }

@@ -369,11 +369,37 @@ fn every_event_variant() -> Vec<EngineEvent> {
             op: 1,
             partition: 2,
             pressure: true,
+            bytes: u64::MAX,
         },
         EngineEvent::CacheEvicted {
             op: u64::MAX,
             partition: 0,
             pressure: false,
+            bytes: 0,
+        },
+        EngineEvent::CacheAdmitted {
+            op: 5,
+            partition: usize::MAX >> 1,
+            bytes: u64::MAX,
+        },
+        EngineEvent::CacheRejected {
+            op: u64::MAX,
+            partition: 0,
+            bytes: 1 << 40,
+        },
+        EngineEvent::ShuffleBytesStored {
+            shuffle: u64::MAX,
+            map_part: 3,
+            bytes: u64::MAX - 1,
+        },
+        EngineEvent::MemoryWatermark {
+            stage: u64::MAX,
+            block_cache_bytes: 1,
+            shuffle_store_bytes: 2,
+            dfs_blocks_bytes: 3,
+            scratch_bytes: 4,
+            cache_budget_bytes: u64::MAX,
+            mono_ns: 5,
         },
         EngineEvent::ShuffleMapRerun {
             shuffle: u64::MAX,
@@ -413,6 +439,10 @@ fn every_event_variant_round_trips_through_jsonl() {
         "Span",
         "TaskEnd",
         "CacheEvicted",
+        "CacheAdmitted",
+        "CacheRejected",
+        "ShuffleBytesStored",
+        "MemoryWatermark",
         "ShuffleMapRerun",
         "FaultInjected",
     ]
@@ -466,6 +496,148 @@ fn parse_event_log_rejects_malformed_lines() {
             parse_event_log(&log).is_err(),
             "line {bad:?} should fail to parse"
         );
+    }
+}
+
+/// Satellite invariant: across pool-worker puts, pressure evictions, and
+/// unpersists, the memory ledger's `used` equals the cache's own byte
+/// count (itself the sum of resident block sizes) at every quiescent
+/// point — the delta accounting never drifts from the real residency.
+#[test]
+fn ledger_matches_residency_through_concurrent_churn() {
+    use sparkscore_rdd::MemCategory;
+    let engine = Engine::builder(ClusterSpec::test_small(3))
+        .host_threads(4)
+        .cache_budget_bytes(64 * 1024) // small budget: force eviction churn
+        .build();
+    let ledger = Arc::clone(engine.memory_ledger());
+    let mut datasets = Vec::new();
+    for round in 0..4u64 {
+        let d = engine
+            .parallelize((0u64..4_000).map(|i| i + round).collect::<Vec<_>>(), 8)
+            .map(|x| x.wrapping_mul(0x9e3779b97f4a7c15))
+            .cache();
+        assert_eq!(d.count(), 4_000); // 8 pool tasks put/evict concurrently
+        datasets.push(d);
+        assert_eq!(
+            ledger.used(MemCategory::BlockCache),
+            engine.cache_used_bytes(),
+            "ledger drifted from cache residency after round {round}"
+        );
+    }
+    let per_op: u64 = datasets
+        .iter()
+        .map(|d| engine.cache_resident_bytes(d.id()))
+        .sum();
+    assert_eq!(
+        ledger.used(MemCategory::BlockCache),
+        per_op,
+        "per-op residency must sum to the ledger total"
+    );
+    assert!(ledger.peak(MemCategory::BlockCache) >= ledger.used(MemCategory::BlockCache));
+    // Unpersist half explicitly, drop the rest: both paths must settle to 0.
+    datasets[0].unpersist();
+    datasets[1].unpersist();
+    drop(datasets);
+    assert_eq!(ledger.used(MemCategory::BlockCache), 0);
+    assert_eq!(engine.cache_used_bytes(), 0);
+}
+
+/// Satellite invariant: replaying the event log's byte deltas
+/// (admitted − evicted, shuffle stores) reproduces the live ledger state.
+#[test]
+fn event_log_byte_deltas_replay_to_ledger_state() {
+    use sparkscore_rdd::MemCategory;
+    let (engine, mem) = observed_engine();
+    let cached = engine
+        .parallelize((0u64..2_000).collect::<Vec<_>>(), 4)
+        .map(|x| x * 7)
+        .cache();
+    assert_eq!(cached.count(), 2_000);
+    let pairs: Vec<(u64, u64)> = (0..300).map(|i| (i % 16, i)).collect();
+    let summed = engine.parallelize(pairs, 4).reduce_by_key(4, |a, b| a + b);
+    assert_eq!(summed.collect().len(), 16);
+
+    let replay = |events: &[EngineEvent]| {
+        let mut cache: i128 = 0;
+        let mut shuffle: u64 = 0;
+        for e in events {
+            match e {
+                EngineEvent::CacheAdmitted { bytes, .. } => cache += i128::from(*bytes),
+                EngineEvent::CacheEvicted { bytes, .. } => cache -= i128::from(*bytes),
+                EngineEvent::ShuffleBytesStored { bytes, .. } => shuffle += *bytes,
+                _ => {}
+            }
+        }
+        (cache, shuffle)
+    };
+    let (cache_bytes, shuffle_bytes) = replay(&mem.snapshot());
+    let ledger = engine.memory_ledger();
+    assert!(
+        cache_bytes > 0,
+        "the cached dataset must have been admitted"
+    );
+    assert!(shuffle_bytes > 0, "the shuffle must have stored bytes");
+    assert_eq!(
+        u64::try_from(cache_bytes).unwrap(),
+        ledger.used(MemCategory::BlockCache),
+        "cache byte deltas replay to live residency"
+    );
+    assert_eq!(
+        shuffle_bytes,
+        ledger.used(MemCategory::ShuffleStore),
+        "shuffle byte deltas replay to live store occupancy"
+    );
+    // Dropping the datasets emits the matching negative deltas: the
+    // replayed cache residency returns to exactly zero.
+    drop(cached);
+    drop(summed);
+    let (cache_after, _) = replay(&mem.snapshot());
+    assert_eq!(cache_after, 0, "unpersist deltas balance the admissions");
+    assert_eq!(ledger.used(MemCategory::BlockCache), 0);
+    assert_eq!(ledger.used(MemCategory::ShuffleStore), 0);
+}
+
+/// Every observed non-empty stage carries one MemoryWatermark sample, and
+/// its per-category values are plausible against the live ledger peaks.
+#[test]
+fn memory_watermarks_ride_stage_batches() {
+    use sparkscore_rdd::MemCategory;
+    let (engine, mem) = observed_engine();
+    run_shuffle_job(&engine);
+    let events = mem.snapshot();
+    let stages = events
+        .iter()
+        .filter(|e| matches!(e, EngineEvent::StageCompleted { .. }))
+        .count();
+    let marks: Vec<&EngineEvent> = events
+        .iter()
+        .filter(|e| matches!(e, EngineEvent::MemoryWatermark { .. }))
+        .collect();
+    assert_eq!(
+        marks.len(),
+        stages,
+        "one watermark per observed stage: {events:?}"
+    );
+    for (i, e) in events.iter().enumerate() {
+        if matches!(e, EngineEvent::MemoryWatermark { .. }) {
+            assert!(
+                matches!(events[i + 1], EngineEvent::StageCompleted { .. }),
+                "watermark at {i} must immediately precede its StageCompleted"
+            );
+        }
+    }
+    let ledger = engine.memory_ledger();
+    for m in marks {
+        if let EngineEvent::MemoryWatermark {
+            shuffle_store_bytes,
+            cache_budget_bytes,
+            ..
+        } = m
+        {
+            assert!(*shuffle_store_bytes <= ledger.peak(MemCategory::ShuffleStore));
+            assert_eq!(*cache_budget_bytes, engine.cache_budget_bytes());
+        }
     }
 }
 

@@ -14,10 +14,44 @@
 //! [`with_f64`] inside [`with_f64`] panics on the `RefCell` borrow).
 
 use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bytes currently held by scratch buffers across all live threads,
+/// maintained by O(1) deltas at the growth sites (and a matching
+/// subtraction when a worker thread dies). Feeds the engine's memory
+/// ledger as the `scratch` category via a registered byte source.
+static ALLOCATED: AtomicU64 = AtomicU64::new(0);
+
+/// Bytes currently resident in thread-local scratch, process-wide.
+pub fn allocated_bytes() -> u64 {
+    ALLOCATED.load(Ordering::Relaxed)
+}
+
+/// A `Vec` whose byte footprint is mirrored into [`ALLOCATED`]: growth
+/// adds the delta, thread teardown gives the bytes back.
+struct TrackedBuf<T>(Vec<T>);
+
+impl<T> TrackedBuf<T> {
+    fn grow_to(&mut self, len: usize, zero: T)
+    where
+        T: Clone,
+    {
+        let delta = (len - self.0.len()) * std::mem::size_of::<T>();
+        ALLOCATED.fetch_add(delta as u64, Ordering::Relaxed);
+        self.0.resize(len, zero);
+    }
+}
+
+impl<T> Drop for TrackedBuf<T> {
+    fn drop(&mut self) {
+        let bytes = self.0.len() * std::mem::size_of::<T>();
+        ALLOCATED.fetch_sub(bytes as u64, Ordering::Relaxed);
+    }
+}
 
 thread_local! {
-    static F64_BUF: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
-    static U8_BUF: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
+    static F64_BUF: RefCell<TrackedBuf<f64>> = const { RefCell::new(TrackedBuf(Vec::new())) };
+    static U8_BUF: RefCell<TrackedBuf<u8>> = const { RefCell::new(TrackedBuf(Vec::new())) };
     static REUSES: Cell<u64> = const { Cell::new(0) };
 }
 
@@ -30,12 +64,12 @@ fn note_reuse() {
 pub fn with_f64<R>(len: usize, f: impl FnOnce(&mut [f64]) -> R) -> R {
     F64_BUF.with(|buf| {
         let mut buf = buf.borrow_mut();
-        if buf.len() >= len {
+        if buf.0.len() >= len {
             note_reuse();
         } else {
-            buf.resize(len, 0.0);
+            buf.grow_to(len, 0.0);
         }
-        let slice = &mut buf[..len];
+        let slice = &mut buf.0[..len];
         slice.fill(0.0);
         f(slice)
     })
@@ -46,12 +80,12 @@ pub fn with_f64<R>(len: usize, f: impl FnOnce(&mut [f64]) -> R) -> R {
 pub fn with_u8<R>(len: usize, f: impl FnOnce(&mut [u8]) -> R) -> R {
     U8_BUF.with(|buf| {
         let mut buf = buf.borrow_mut();
-        if buf.len() >= len {
+        if buf.0.len() >= len {
             note_reuse();
         } else {
-            buf.resize(len, 0);
+            buf.grow_to(len, 0);
         }
-        let slice = &mut buf[..len];
+        let slice = &mut buf.0[..len];
         slice.fill(0);
         f(slice)
     })
@@ -97,6 +131,30 @@ mod tests {
         })
         .join()
         .unwrap();
+    }
+
+    #[test]
+    fn allocated_bytes_tracks_growth_and_thread_death() {
+        // The counter is process-global and other tests use scratch
+        // concurrently, so assert with wide margins around a deliberately
+        // large allocation instead of exact equality.
+        const BIG: usize = 1 << 17; // 1 MiB of f64 — dwarfs every other test
+        let before = allocated_bytes();
+        let held = std::thread::spawn(|| {
+            with_f64(BIG, |_| {});
+            with_f64(BIG / 2, |_| {}); // reuse: no new bytes
+            allocated_bytes()
+        })
+        .join()
+        .unwrap();
+        assert!(
+            held >= before.saturating_sub(1 << 16) + (BIG * 8) as u64,
+            "growth must be accounted: {before} -> {held}"
+        );
+        assert!(
+            allocated_bytes() <= held - (BIG * 4) as u64,
+            "thread teardown must return its scratch bytes"
+        );
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! ```text
 //! exec 3<>/dev/tcp/127.0.0.1/<port>; echo jobs >&3; cat <&3
 //! exec 3<>/dev/tcp/127.0.0.1/<port>; echo metrics >&3; cat <&3
+//! exec 3<>/dev/tcp/127.0.0.1/<port>; echo memory >&3; cat <&3
 //! exec 3<>/dev/tcp/127.0.0.1/<port>; echo trace >&3; cat <&3 > dump.jsonl
 //! cargo run -p sparkscore-obs --bin trace -- report dump.jsonl
 //! ```
@@ -55,6 +56,7 @@ fn main() {
         .registry(registry)
         .recorder(recorder)
         .profiler(Arc::clone(&profiler))
+        .memory(Arc::clone(engine.memory_ledger()))
         .start()
         .expect("bind ops endpoint");
     println!("ops endpoint listening on {}", server.local_addr());

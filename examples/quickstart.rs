@@ -74,6 +74,10 @@ fn main() {
         run.metrics.cache_hits, run.metrics.cache_misses
     );
     println!("  tasks executed:       {}", run.metrics.tasks);
+    println!(
+        "  {}",
+        sparkscore_obs::live_digest(&ctx.engine().memory_snapshot())
+    );
 
     if let Some((listener, path)) = log {
         listener.flush().expect("flush event log");

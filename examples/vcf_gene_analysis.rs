@@ -132,4 +132,5 @@ fn main() {
         "\ndetected GENE3; virtual cluster time {:.1}s",
         run.virtual_secs
     );
+    println!("{}", sparkscore_obs::live_digest(&engine.memory_snapshot()));
 }

@@ -60,11 +60,22 @@ scrape() {
 metrics="$(scrape metrics)"
 grep -q '^# TYPE sparkscore_' <<< "$metrics" \
     || { echo "ops smoke: metrics scrape missing sparkscore_ gauges" >&2; kill "$ops_pid"; exit 1; }
+grep -q '^sparkscore_mem_block_cache_used_bytes ' <<< "$metrics" \
+    || { echo "ops smoke: metrics scrape missing sparkscore_mem_ gauges" >&2; kill "$ops_pid"; exit 1; }
+memory="$(scrape memory)"
+for category in block_cache shuffle_store dfs_blocks scratch total; do
+    grep -q "^$category " <<< "$memory" \
+        || { echo "ops smoke: memory scrape missing $category row" >&2; kill "$ops_pid"; exit 1; }
+done
 ops_dump="$events_dir/live_ops_trace.jsonl"
 scrape trace > "$ops_dump"
 [ -s "$ops_dump" ] || { echo "ops smoke: empty trace dump" >&2; kill "$ops_pid"; exit 1; }
 cargo run --release -p sparkscore-obs --bin trace -- report --json "$ops_dump" > /dev/null \
     || { echo "ops smoke: trace dump did not parse" >&2; kill "$ops_pid"; exit 1; }
+mem_json="$(cargo run --release -p sparkscore-obs --bin trace -- memory --json "$ops_dump")" \
+    || { echo "ops smoke: trace memory did not parse the dump" >&2; kill "$ops_pid"; exit 1; }
+grep -q '"peak_cache_bytes"' <<< "$mem_json" \
+    || { echo "ops smoke: trace memory JSON missing peak_cache_bytes" >&2; kill "$ops_pid"; exit 1; }
 wait "$ops_pid"
 
 echo "== kernels smoke: packed/blocked kernels match references and emit JSON =="
