@@ -2,7 +2,7 @@
 //! resampling algorithms, measured outside the engine so the numbers
 //! attribute purely to kernel shape.
 //!
-//! Three sections, all host wall-clock, each asserting bitwise-identical
+//! Four sections, all host wall-clock, each asserting bitwise-identical
 //! results across the compared paths *before* any timing:
 //!
 //! * **packed vs byte genotypes** — a full contribution pass over the
@@ -12,6 +12,10 @@
 //!   buys the cache budget.
 //! * **contributions vs contributions_into** — the allocating trait
 //!   default against the allocation-free kernel writing a reused slice.
+//! * **packed-direct bit kernels** — QC (counts, MAF, HWE) and the
+//!   Gaussian contribution pass computed straight on the 2-bit columns
+//!   via popcount kernels, against the byte-slice oracles. The combined
+//!   `direct_over_byte` ratio is gated < 1.0 in CI.
 //! * **blocked vs per-iteration resampling** — Algorithm 3 through the
 //!   tiled [`perturb_scores_blocked`] GEMM kernel against the one-pass-
 //!   per-replicate reference. The ratio is the PR's headline number.
@@ -24,8 +28,9 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sparkscore_data::GenotypeBlock;
+use sparkscore_stats::qc::{check_snp, check_snp_packed, GenotypeCounts, QcThresholds};
 use sparkscore_stats::resample::{monte_carlo_blocked, monte_carlo_per_iteration};
-use sparkscore_stats::score::{CoxScore, ScoreModel, Survival};
+use sparkscore_stats::score::{CoxScore, GaussianScore, ScoreModel, Survival};
 use sparkscore_stats::scratch;
 use sparkscore_stats::skat::SnpSet;
 
@@ -174,6 +179,87 @@ fn main() {
     }
     let into_ns = start.elapsed().as_nanos() as u64;
 
+    // ---- packed-direct bit kernels: QC and affine score accumulation ----
+    // Identity first: the popcount kernels must reproduce the byte oracles
+    // exactly — genotype counts, the QC verdict, and the Gaussian
+    // contribution pass — for every column before anything is timed.
+    let trait_values: Vec<f64> = cohort.iter().map(|s| s.time).collect();
+    let gauss = GaussianScore::new(&trait_values);
+    let thresholds = QcThresholds::default();
+    for (c, (_, g)) in rows.iter().enumerate() {
+        let byte_counts = GenotypeCounts::from_dosages(g).expect("dosages in 0..=2");
+        let (direct_counts, missing) = GenotypeCounts::from_packed(block.column(c), n);
+        assert_eq!(byte_counts, direct_counts, "popcount counts diverge");
+        assert_eq!(missing, 0, "bench rows carry no missing calls");
+        assert_eq!(
+            check_snp(g, &thresholds),
+            check_snp_packed(block.column(c), n, &thresholds),
+            "QC verdicts must agree"
+        );
+    }
+    let mut gauss_byte_out = vec![0.0f64; m * n];
+    for ((_, g), slot) in rows.iter().zip(gauss_byte_out.chunks_exact_mut(n)) {
+        gauss.contributions_into(g, slot);
+    }
+    let mut gauss_direct_out = vec![0.0f64; m * n];
+    for (c, slot) in gauss_direct_out.chunks_exact_mut(n).enumerate() {
+        assert!(
+            gauss.contributions_into_packed(block.column(c), slot),
+            "Gaussian must take the packed fast path"
+        );
+    }
+    assert_eq!(
+        gauss_byte_out, gauss_direct_out,
+        "packed-direct contributions must be bitwise identical to the byte kernel"
+    );
+
+    let start = Instant::now();
+    for _ in 0..opts.passes {
+        for (_, g) in &rows {
+            std::hint::black_box(check_snp(g, &thresholds)).ok();
+        }
+    }
+    let qc_byte_pass_ns = start.elapsed().as_nanos() as u64;
+    let start = Instant::now();
+    for _ in 0..opts.passes {
+        for c in 0..m {
+            std::hint::black_box(check_snp_packed(block.column(c), n, &thresholds)).ok();
+        }
+    }
+    let qc_direct_pass_ns = start.elapsed().as_nanos() as u64;
+
+    let start = Instant::now();
+    for _ in 0..opts.passes {
+        for ((_, g), slot) in rows.iter().zip(gauss_byte_out.chunks_exact_mut(n)) {
+            gauss.contributions_into(g, slot);
+        }
+        std::hint::black_box(&gauss_byte_out);
+    }
+    let score_byte_pass_ns = start.elapsed().as_nanos() as u64;
+    let start = Instant::now();
+    for _ in 0..opts.passes {
+        scratch::with_u8(n, |g| {
+            for (c, slot) in gauss_direct_out.chunks_exact_mut(n).enumerate() {
+                block.unpack_into(c, g);
+                gauss.contributions_into(g, slot);
+            }
+        });
+        std::hint::black_box(&gauss_direct_out);
+    }
+    let score_unpack_pass_ns = start.elapsed().as_nanos() as u64;
+    let start = Instant::now();
+    for _ in 0..opts.passes {
+        for (c, slot) in gauss_direct_out.chunks_exact_mut(n).enumerate() {
+            gauss.contributions_into_packed(block.column(c), slot);
+        }
+        std::hint::black_box(&gauss_direct_out);
+    }
+    let packed_direct_pass_ns = start.elapsed().as_nanos() as u64;
+    let qc_direct_over_byte = qc_direct_pass_ns as f64 / qc_byte_pass_ns as f64;
+    let score_direct_over_byte = packed_direct_pass_ns as f64 / score_byte_pass_ns as f64;
+    let direct_over_byte = (qc_direct_pass_ns + packed_direct_pass_ns) as f64
+        / (qc_byte_pass_ns + score_byte_pass_ns) as f64;
+
     // ---- blocked vs per-iteration Monte Carlo resampling ----
     let genotype_rows: Vec<Vec<u8>> = rows.iter().map(|(_, g)| g.clone()).collect();
     let weights = vec![1.0f64; m];
@@ -244,6 +330,16 @@ fn main() {
             "into_total_ns": into_ns,
             "into_speedup": alloc_ns as f64 / into_ns as f64,
         }),
+        "packed_direct": serde_json::json!({
+            "qc_byte_pass_ns": qc_byte_pass_ns,
+            "qc_direct_pass_ns": qc_direct_pass_ns,
+            "qc_direct_over_byte": qc_direct_over_byte,
+            "score_byte_pass_ns": score_byte_pass_ns,
+            "score_unpack_pass_ns": score_unpack_pass_ns,
+            "packed_direct_pass_ns": packed_direct_pass_ns,
+            "score_direct_over_byte": score_direct_over_byte,
+            "direct_over_byte": direct_over_byte,
+        }),
         "resampling": serde_json::json!({
             "blocked_total_ns": blocked_ns,
             "per_iteration_total_ns": per_iter_ns,
@@ -269,6 +365,16 @@ fn main() {
         alloc_ns as f64 / 1e6,
         into_ns as f64 / 1e6,
         alloc_ns as f64 / into_ns as f64,
+    );
+    println!(
+        "packed direct: qc byte {:.1} ms vs direct {:.1} ms ({qc_direct_over_byte:.2}x); \
+         score byte {:.1} ms vs unpack {:.1} ms vs direct {:.1} ms ({score_direct_over_byte:.2}x); \
+         combined {direct_over_byte:.2}x",
+        qc_byte_pass_ns as f64 / 1e6,
+        qc_direct_pass_ns as f64 / 1e6,
+        score_byte_pass_ns as f64 / 1e6,
+        score_unpack_pass_ns as f64 / 1e6,
+        packed_direct_pass_ns as f64 / 1e6,
     );
     println!(
         "resampling (B={}): per-iteration {:.1} ms vs blocked {:.1} ms ({blocked_speedup:.2}x)",

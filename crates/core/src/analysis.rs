@@ -26,13 +26,14 @@ use sparkscore_data::io::{
 use sparkscore_data::{DatasetPaths, GenotypeBlock, GwasDataset};
 use sparkscore_dfs::DfsError;
 use sparkscore_rdd::{Broadcast, Dataset, Engine};
+use sparkscore_stats::qc::{check_snp_packed, QcThresholds};
 use sparkscore_stats::resample::{mc_weights, random_permutation};
 use sparkscore_stats::score::ScoreModel;
 use sparkscore_stats::scratch;
 use sparkscore_stats::skat::SnpSet;
 
 use crate::model::{Model, Phenotype};
-use crate::result::{ObservedResult, ResamplingRun, SetScore, SnpResult};
+use crate::result::{ObservedResult, ResamplingRun, SetScore, SnpQc, SnpResult};
 
 /// Per-record cost hints (in engine work units of 25 virtual ns each)
 /// modeling the reference platform — the paper's JVM/Spark 1.x stack —
@@ -280,9 +281,11 @@ impl SparkScoreContext {
     }
 
     /// The `U` RDD (Algorithm 1 step 7): per-SNP per-patient contributions
-    /// under `model_bc`. Each task unpacks genotype columns into a
-    /// thread-local scratch slice and runs the allocation-free kernel,
-    /// reporting kernel rows and scratch reuses to the task metrics.
+    /// under `model_bc`. Models with an affine per-dosage contribution
+    /// (Gaussian, Binomial) score each 2-bit column directly through the
+    /// popcount kernels; the rest unpack into a thread-local scratch slice
+    /// and run the byte kernel. Kernel rows (and the packed subset) and
+    /// scratch reuses are reported to the task metrics.
     fn u_rdd(&self, model_bc: &Broadcast<Model>) -> Dataset<(u64, Vec<f64>)> {
         let model = model_bc.clone();
         let n = self.num_patients();
@@ -291,20 +294,58 @@ impl SparkScoreContext {
             ctx.time_span("kernel:contributions", || {
                 for block in blocks {
                     ctx.add_work(block.num_snps(), n as f64 * JVM_UNITS_SCORE_PER_PATIENT);
+                    let mut packed_rows = 0u64;
                     scratch::with_u8(n, |g| {
                         for c in 0..block.num_snps() {
-                            block.unpack_into(c, g);
                             let mut contrib = vec![0.0; n];
-                            model.value().contributions_into(g, &mut contrib);
+                            let model = model.value();
+                            if model.contributions_into_packed(block.column(c), &mut contrib) {
+                                packed_rows += n as u64;
+                            } else {
+                                block.unpack_into(c, g);
+                                model.contributions_into(g, &mut contrib);
+                            }
                             out.push((block.snp_id(c), contrib));
                         }
                     });
                     ctx.add_kernel_rows((block.num_snps() * n) as u64);
+                    ctx.add_packed_kernel_rows(packed_rows);
                 }
             });
             ctx.add_scratch_reuses(scratch::take_reuses());
             out
         })
+    }
+
+    /// Per-SNP quality control over the filtered genotype matrix, sorted
+    /// by SNP id. Counts, MAF, and Hardy–Weinberg all come straight from
+    /// popcount passes over the packed columns — no byte dosages are ever
+    /// materialized, so every QC kernel row is a packed row.
+    pub fn qc(&self, thresholds: QcThresholds) -> Vec<SnpQc> {
+        let n = self.num_patients();
+        let mut rows: Vec<SnpQc> = self
+            .fgm
+            .map_partitions_ctx(move |ctx, _, blocks| {
+                let mut out = Vec::new();
+                ctx.time_span("kernel:qc", || {
+                    for block in blocks {
+                        ctx.add_work(block.num_snps(), n as f64 * JVM_UNITS_ARITH_PER_PATIENT);
+                        for c in 0..block.num_snps() {
+                            out.push(SnpQc {
+                                snp: block.snp_id(c),
+                                verdict: check_snp_packed(block.column(c), n, &thresholds),
+                            });
+                        }
+                        let rows = (block.num_snps() * n) as u64;
+                        ctx.add_kernel_rows(rows);
+                        ctx.add_packed_kernel_rows(rows);
+                    }
+                });
+                out
+            })
+            .collect();
+        rows.sort_by_key(|r| r.snp);
+        rows
     }
 
     /// Algorithm 1 steps 8–12 on a `U` RDD: inner sums (optionally with
@@ -610,5 +651,99 @@ mod tests {
         assert!(lineage.contains("map"));
         assert!(lineage.contains("filter"));
         assert!(lineage.contains("parallelize"));
+    }
+
+    use sparkscore_rdd::{EventListener, StageSummaryListener};
+
+    /// A context over the small synthetic genotypes with `phenotype`
+    /// swapped in, plus a listener to observe per-stage kernel counters.
+    fn context_with_listener(
+        phenotype_of: impl Fn(&GwasDataset) -> Phenotype,
+    ) -> (SparkScoreContext, Arc<StageSummaryListener>) {
+        let listener = Arc::new(StageSummaryListener::new());
+        let engine = Engine::builder(ClusterSpec::test_small(2))
+            .host_threads(2)
+            .listener(Arc::clone(&listener) as Arc<dyn EventListener>)
+            .build();
+        let ds = GwasDataset::generate(&SyntheticConfig::small(17));
+        let rows: Vec<(u64, Vec<u8>)> = ds
+            .genotypes
+            .iter()
+            .map(|r| (r.id, r.dosages.clone()))
+            .collect();
+        let gm = engine.parallelize(rows, 4);
+        let weights: Vec<(u64, f64)> = ds
+            .weights
+            .iter()
+            .enumerate()
+            .map(|(j, &w)| (j as u64, w))
+            .collect();
+        let weights_rdd = engine.parallelize(weights, 2);
+        let phenotype = phenotype_of(&ds);
+        let ctx = SparkScoreContext::from_parts(
+            engine,
+            phenotype,
+            gm,
+            weights_rdd,
+            &ds.sets,
+            AnalysisOptions::default(),
+        );
+        (ctx, listener)
+    }
+
+    fn kernel_row_totals(listener: &StageSummaryListener) -> (u64, u64) {
+        listener
+            .summaries()
+            .iter()
+            .fold((0, 0), |(total, packed), s| {
+                (total + s.kernel_rows, packed + s.packed_kernel_rows)
+            })
+    }
+
+    #[test]
+    fn gaussian_model_scores_every_row_on_the_packed_path() {
+        let (ctx, listener) = context_with_listener(|ds| {
+            Phenotype::Quantitative((0..ds.phenotypes.len()).map(|i| (i % 7) as f64).collect())
+        });
+        let obs = ctx.observed();
+        assert_eq!(obs.scores.len(), 10);
+        let (total, packed) = kernel_row_totals(&listener);
+        assert!(total > 0, "the observed pass must report kernel rows");
+        assert_eq!(
+            packed, total,
+            "an affine model must never unpack a genotype column"
+        );
+    }
+
+    #[test]
+    fn cox_model_falls_back_to_the_byte_kernel() {
+        let (ctx, listener) =
+            context_with_listener(|ds| Phenotype::Survival(ds.phenotypes.clone()));
+        ctx.observed();
+        let (total, packed) = kernel_row_totals(&listener);
+        assert!(total > 0);
+        assert_eq!(packed, 0, "Cox contributions are not affine in dosage");
+    }
+
+    #[test]
+    fn packed_qc_matches_byte_oracle_per_snp() {
+        let (ctx, listener) =
+            context_with_listener(|ds| Phenotype::Survival(ds.phenotypes.clone()));
+        let thresholds = QcThresholds::default();
+        let verdicts = ctx.qc(thresholds);
+        assert_eq!(verdicts.len(), 200, "every filtered SNP gets a verdict");
+        for w in verdicts.windows(2) {
+            assert!(w[0].snp < w[1].snp, "sorted by SNP id");
+        }
+        let ds = GwasDataset::generate(&SyntheticConfig::small(17));
+        let by_id: std::collections::HashMap<u64, &Vec<u8>> =
+            ds.genotypes.iter().map(|r| (r.id, &r.dosages)).collect();
+        for q in &verdicts {
+            let oracle = sparkscore_stats::qc::check_snp(by_id[&q.snp], &thresholds);
+            assert_eq!(q.verdict, oracle, "snp {}", q.snp);
+        }
+        let (total, packed) = kernel_row_totals(&listener);
+        assert!(total > 0);
+        assert_eq!(packed, total, "QC never unpacks a genotype column");
     }
 }

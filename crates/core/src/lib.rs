@@ -34,4 +34,4 @@ pub mod result;
 
 pub use analysis::{AnalysisOptions, CombineMethod, SparkScoreContext, WeightsStrategy};
 pub use model::{Model, Phenotype};
-pub use result::{ObservedResult, ResamplingRun, SetScore, SnpResult};
+pub use result::{ObservedResult, ResamplingRun, SetScore, SnpQc, SnpResult};

@@ -105,6 +105,15 @@ impl ScoreModel for Model {
             Model::Binomial(m) => m.contributions_into(g, out),
         }
     }
+
+    fn contributions_into_packed(&self, packed: &[u8], out: &mut [f64]) -> bool {
+        match self {
+            Model::Cox(m) => m.contributions_into_packed(packed, out),
+            Model::Gaussian(m) => m.contributions_into_packed(packed, out),
+            Model::AdjustedGaussian(m) => m.contributions_into_packed(packed, out),
+            Model::Binomial(m) => m.contributions_into_packed(packed, out),
+        }
+    }
 }
 
 impl EstimateSize for Model {

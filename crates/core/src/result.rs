@@ -2,8 +2,9 @@
 
 use std::time::Duration;
 
-use sparkscore_rdd::MetricsSnapshot;
+use sparkscore_rdd::{EstimateSize, MetricsSnapshot};
 use sparkscore_stats::pvalue::empirical_pvalue;
+use sparkscore_stats::qc::{GenotypeCounts, QcFailure};
 
 /// One SNP-set's observed statistic.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -22,6 +23,21 @@ pub struct SnpResult {
     pub variance: f64,
     /// Asymptotic χ²₁ p-value of `U_j²/V_j`.
     pub pvalue: f64,
+}
+
+/// One SNP's quality-control verdict, computed directly on the packed
+/// genotype column.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SnpQc {
+    pub snp: u64,
+    /// Genotype counts on pass; the first reason the SNP fails otherwise.
+    pub verdict: Result<GenotypeCounts, QcFailure>,
+}
+
+impl EstimateSize for SnpQc {
+    fn estimate_bytes(&self) -> usize {
+        std::mem::size_of::<SnpQc>()
+    }
 }
 
 /// Result of an observed-statistics pass (Algorithm 1).

@@ -112,6 +112,20 @@ impl GenotypeBlock {
         self.data.len()
     }
 
+    /// Bytes per SNP column: `ceil(num_patients / 4)`.
+    #[inline]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// The raw packed bytes of SNP column `col` — the bit-kernel facing
+    /// view: `sparkscore_stats::bitkern` computes counts and affine
+    /// score contributions on these words without unpacking.
+    #[inline]
+    pub fn column(&self, col: usize) -> &[u8] {
+        &self.data[col * self.stride..(col + 1) * self.stride]
+    }
+
     /// Dosage of patient `i` at SNP column `col` (0/1/2 or
     /// [`MISSING_DOSAGE`]).
     #[inline]
@@ -148,9 +162,23 @@ impl GenotypeBlock {
         }
     }
 
-    /// Iterate `(snp_id, unpacked dosages)` rows — the round-trip /
-    /// interop view (allocates one `Vec` per row; hot paths use
-    /// [`GenotypeBlock::unpack_into`]).
+    /// Visit every `(snp_id, unpacked dosages)` row through one
+    /// caller-provided buffer of length `num_patients` — the
+    /// allocation-free replacement for [`GenotypeBlock::rows`] on export
+    /// and round-trip paths.
+    pub fn for_each_row(&self, buf: &mut [u8], mut f: impl FnMut(u64, &[u8])) {
+        assert_eq!(buf.len(), self.num_patients, "row buffer length mismatch");
+        for c in 0..self.num_snps() {
+            self.unpack_into(c, buf);
+            f(self.ids[c], buf);
+        }
+    }
+
+    /// Iterate `(snp_id, unpacked dosages)` rows — the allocating
+    /// interop view (one `Vec` per row; export paths use
+    /// [`GenotypeBlock::for_each_row`], kernels use
+    /// [`GenotypeBlock::unpack_into`] or read [`GenotypeBlock::column`]
+    /// directly).
     pub fn rows(&self) -> impl Iterator<Item = (u64, Vec<u8>)> + '_ {
         (0..self.num_snps()).map(|c| {
             let mut out = vec![0u8; self.num_patients];
@@ -181,9 +209,17 @@ mod tests {
         assert_eq!(block.num_patients(), n);
         let back: Vec<(u64, Vec<u8>)> = block.rows().collect();
         assert_eq!(back, rows);
+        // The non-allocating visitor sees the same rows through one
+        // reused buffer.
+        let mut buf = vec![0u8; n];
+        let mut visited = Vec::new();
+        block.for_each_row(&mut buf, |id, dosages| visited.push((id, dosages.to_vec())));
+        assert_eq!(visited, rows);
         for (c, (_, dosages)) in rows.iter().enumerate() {
+            assert_eq!(block.column(c).len(), block.stride());
             for (i, &d) in dosages.iter().enumerate() {
                 assert_eq!(block.dosage(c, i), d, "col {c} patient {i}");
+                assert_eq!((block.column(c)[i / 4] >> (2 * (i % 4))) & 0b11, d);
             }
         }
     }
@@ -257,7 +293,22 @@ mod tests {
                 .collect();
             let block = GenotypeBlock::from_rows(n, &rows);
             let back: Vec<(u64, Vec<u8>)> = block.rows().collect();
-            prop_assert_eq!(back, rows);
+            prop_assert_eq!(&back, &rows);
+            let mut buf = vec![0u8; n];
+            let mut visited = Vec::new();
+            block.for_each_row(&mut buf, |id, d| visited.push((id, d.to_vec())));
+            prop_assert_eq!(visited, rows);
+        }
+
+        /// `for_each_row` rejects a wrongly sized buffer.
+        #[test]
+        fn prop_for_each_row_checks_buffer_length(n in 1usize..40) {
+            let block = GenotypeBlock::from_rows(n, &[(0, vec![1; n])]);
+            let mut short = vec![0u8; n - 1];
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                block.for_each_row(&mut short, |_, _| {});
+            }));
+            prop_assert!(r.is_err());
         }
     }
 }

@@ -9,8 +9,10 @@
 //! become [`crate::regions::SnpLocus`] coordinates for gene-based SNP-set
 //! construction.
 
+use crate::packed::GenotypeBlock;
 use crate::regions::SnpLocus;
 use crate::synth::SnpRow;
+use sparkscore_stats::score::MISSING_DOSAGE;
 
 /// One parsed VCF variant record.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -177,33 +179,59 @@ pub fn to_analysis_inputs(vcf: &VcfData) -> (Vec<SnpRow>, Vec<SnpLocus>) {
     (rows, loci)
 }
 
-/// Serialize rows and loci back to VCF text (round-trip support and a
-/// convenient way to fabricate test fixtures).
-pub fn write_vcf(samples: &[String], rows: &[SnpRow], loci: &[SnpLocus]) -> String {
-    assert_eq!(rows.len(), loci.len(), "rows and loci must align");
-    let mut out = String::from("##fileformat=VCFv4.2\n##source=sparkscore-rs\n");
+fn push_header(out: &mut String, samples: &[String]) {
+    out.push_str("##fileformat=VCFv4.2\n##source=sparkscore-rs\n");
     out.push_str("#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\tFORMAT");
     for s in samples {
         out.push('\t');
         out.push_str(s);
     }
     out.push('\n');
+}
+
+fn push_record(out: &mut String, id: u64, dosages: &[u8], locus: &SnpLocus) {
+    out.push_str(&format!(
+        "{}\t{}\tsnp{}\tA\tG\t.\tPASS\t.\tGT",
+        locus.chromosome, locus.position, id
+    ));
+    for &d in dosages {
+        out.push_str(match d {
+            0 => "\t0/0",
+            1 => "\t0/1",
+            2 => "\t1/1",
+            MISSING_DOSAGE => "\t./.",
+            other => panic!("invalid dosage {other}"),
+        });
+    }
+    out.push('\n');
+}
+
+/// Serialize rows and loci back to VCF text (round-trip support and a
+/// convenient way to fabricate test fixtures).
+pub fn write_vcf(samples: &[String], rows: &[SnpRow], loci: &[SnpLocus]) -> String {
+    assert_eq!(rows.len(), loci.len(), "rows and loci must align");
+    let mut out = String::new();
+    push_header(&mut out, samples);
     for (row, locus) in rows.iter().zip(loci) {
         assert_eq!(row.dosages.len(), samples.len(), "sample count mismatch");
-        out.push_str(&format!(
-            "{}\t{}\tsnp{}\tA\tG\t.\tPASS\t.\tGT",
-            locus.chromosome, locus.position, row.id
-        ));
-        for &d in &row.dosages {
-            out.push_str(match d {
-                0 => "\t0/0",
-                1 => "\t0/1",
-                2 => "\t1/1",
-                other => panic!("invalid dosage {other}"),
-            });
-        }
-        out.push('\n');
+        push_record(&mut out, row.id, &row.dosages, locus);
     }
+    out
+}
+
+/// Serialize a packed [`GenotypeBlock`] straight to VCF text. Rows are
+/// unpacked through one reused buffer ([`GenotypeBlock::for_each_row`] —
+/// no per-row allocation); missing calls become `./.`.
+pub fn write_vcf_block(samples: &[String], block: &GenotypeBlock, loci: &[SnpLocus]) -> String {
+    assert_eq!(block.num_snps(), loci.len(), "rows and loci must align");
+    assert_eq!(block.num_patients(), samples.len(), "sample count mismatch");
+    let mut out = String::new();
+    push_header(&mut out, samples);
+    let mut buf = vec![0u8; block.num_patients()];
+    let mut loci = loci.iter();
+    block.for_each_row(&mut buf, |id, dosages| {
+        push_record(&mut out, id, dosages, loci.next().expect("loci align"));
+    });
     out
 }
 
@@ -316,5 +344,27 @@ mod tests {
         let (rows2, loci2) = to_analysis_inputs(&parsed);
         assert_eq!(rows2, rows);
         assert_eq!(loci2, loci);
+
+        // The packed-block export produces byte-identical VCF text.
+        let block_rows: Vec<(u64, Vec<u8>)> =
+            rows.iter().map(|r| (r.id, r.dosages.clone())).collect();
+        let block = GenotypeBlock::from_rows(samples.len(), &block_rows);
+        assert_eq!(write_vcf_block(&samples, &block, &loci), text);
+    }
+
+    #[test]
+    fn block_export_writes_missing_calls() {
+        let samples: Vec<String> = vec!["a".into(), "b".into(), "c".into()];
+        let block = GenotypeBlock::from_rows(3, &[(7, vec![1, MISSING_DOSAGE, 2])]);
+        let loci = vec![SnpLocus {
+            index: 0,
+            chromosome: 1,
+            position: 42,
+        }];
+        let text = write_vcf_block(&samples, &block, &loci);
+        assert!(text.contains("\t0/1\t./.\t1/1\n"), "{text}");
+        // Missing calls survive a parse round-trip as None.
+        let parsed = parse_vcf(&text).unwrap();
+        assert_eq!(parsed.records[0].dosages, vec![Some(1), None, Some(2)]);
     }
 }

@@ -159,9 +159,13 @@ pub fn report(trace: &ExecutionTrace) -> String {
 
     out.push_str("\n== kernels ==\n");
     let (kernel_wall, total_wall) = trace.kernel_wall_split_ns();
+    let kernel_rows = trace.total_kernel_rows();
+    let packed_rows = trace.total_packed_kernel_rows();
     out.push_str(&format!(
-        "kernel rows={} scratch reuses={} kernel-task wall={} ({} of {} total wall)\n",
-        trace.total_kernel_rows(),
+        "kernel rows={} (packed={} unpacked={}) scratch reuses={} kernel-task wall={} ({} of {} total wall)\n",
+        kernel_rows,
+        packed_rows,
+        kernel_rows.saturating_sub(packed_rows),
         trace.total_scratch_reuses(),
         fmt_ns(kernel_wall),
         percent(kernel_wall, total_wall),
@@ -275,6 +279,7 @@ pub fn report_json(trace: &ExecutionTrace) -> serde_json::Value {
     let (kernel_wall, total_wall) = trace.kernel_wall_split_ns();
     let kernels = json!({
         "kernel_rows": trace.total_kernel_rows(),
+        "packed_kernel_rows": trace.total_packed_kernel_rows(),
         "scratch_reuses": trace.total_scratch_reuses(),
         "kernel_task_wall_ns": kernel_wall,
         "total_task_wall_ns": total_wall,
@@ -412,7 +417,10 @@ mod tests {
         assert!(a.contains("cache ROI: hits=7 misses=5"), "{a}");
         assert!(a.contains("map-reruns=1 faults=1"), "{a}");
         assert!(a.contains("== kernels =="), "{a}");
-        assert!(a.contains("kernel rows=2000 scratch reuses=4"), "{a}");
+        assert!(
+            a.contains("kernel rows=2000 (packed=1200 unpacked=800) scratch reuses=4"),
+            "{a}"
+        );
         assert!(a.contains("== spans =="), "{a}");
         assert!(a.contains("kernel:contributions"), "{a}");
         assert!(
@@ -462,6 +470,11 @@ mod tests {
             "two-stage chain"
         );
         assert_eq!(at(&v, &["cache", "hits"]).as_u64(), Some(7));
+        assert_eq!(at(&v, &["kernels", "kernel_rows"]).as_u64(), Some(2_000));
+        assert_eq!(
+            at(&v, &["kernels", "packed_kernel_rows"]).as_u64(),
+            Some(1_200)
+        );
         let spans = at(&v, &["spans"]).as_array().expect("spans array");
         assert!(!spans.is_empty());
         assert_eq!(

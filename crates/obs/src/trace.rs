@@ -101,6 +101,12 @@ impl TraceStage {
         self.tasks.iter().map(|t| t.kernel_rows).sum()
     }
 
+    /// Kernel rows served by packed-direct bit kernels (no byte unpack) —
+    /// a subset of [`TraceStage::kernel_rows`].
+    pub fn packed_kernel_rows(&self) -> u64 {
+        self.tasks.iter().map(|t| t.packed_kernel_rows).sum()
+    }
+
     /// Kernel calls served from reused thread-local scratch.
     pub fn scratch_reuses(&self) -> u64 {
         self.tasks.iter().map(|t| t.scratch_reuses).sum()
@@ -393,6 +399,12 @@ impl ExecutionTrace {
         self.stages.iter().map(TraceStage::kernel_rows).sum()
     }
 
+    /// Kernel rows served by packed-direct bit kernels across all stages —
+    /// a subset of [`ExecutionTrace::total_kernel_rows`].
+    pub fn total_packed_kernel_rows(&self) -> u64 {
+        self.stages.iter().map(TraceStage::packed_kernel_rows).sum()
+    }
+
     pub fn total_scratch_reuses(&self) -> u64 {
         self.stages.iter().map(TraceStage::scratch_reuses).sum()
     }
@@ -502,6 +514,7 @@ mod tests {
                 stage: 0,
                 metrics: TaskMetrics {
                     kernel_rows: 1_200,
+                    packed_kernel_rows: 1_200,
                     scratch_reuses: 3,
                     ..task(0, 4_000, 0, 2)
                 },
@@ -718,8 +731,10 @@ mod tests {
         assert_eq!(s0.total_task_ns(), 13_000);
         assert_eq!(s0.cache_misses(), 4);
         assert_eq!(s0.kernel_rows(), 2_000);
+        assert_eq!(s0.packed_kernel_rows(), 1_200);
         assert_eq!(s0.scratch_reuses(), 4);
         assert_eq!(trace.total_kernel_rows(), 2_000);
+        assert_eq!(trace.total_packed_kernel_rows(), 1_200);
         // Only stage 0's tasks reported kernel work: 2000 + 4500 wall ns.
         assert_eq!(trace.kernel_wall_split_ns().0, 6_500);
         // The internal stage belongs to no job.

@@ -40,6 +40,7 @@ pub struct TaskCtx<'a> {
     cache_misses: Cell<u64>,
     recomputed: Cell<u64>,
     kernel_rows: Cell<u64>,
+    packed_kernel_rows: Cell<u64>,
     scratch_reuses: Cell<u64>,
     preferred: RefCell<Vec<NodeId>>,
     spans: RefCell<Vec<SpanRecord>>,
@@ -66,6 +67,7 @@ impl<'a> TaskCtx<'a> {
             cache_misses: Cell::new(0),
             recomputed: Cell::new(0),
             kernel_rows: Cell::new(0),
+            packed_kernel_rows: Cell::new(0),
             scratch_reuses: Cell::new(0),
             preferred: RefCell::new(Vec::new()),
             spans: RefCell::new(Vec::new()),
@@ -172,6 +174,15 @@ impl<'a> TaskCtx<'a> {
         self.kernel_rows.set(self.kernel_rows.get() + n);
     }
 
+    /// Record `n` kernel rows served by packed-direct bit kernels (no
+    /// byte unpack) — a subset of [`TaskCtx::add_kernel_rows`]'s total,
+    /// so trace reports can split packed vs unpacked work.
+    #[inline]
+    pub fn add_packed_kernel_rows(&self, n: u64) {
+        self.packed_kernel_rows
+            .set(self.packed_kernel_rows.get() + n);
+    }
+
     /// Record `n` thread-local scratch-buffer reuses (kernel calls served
     /// without touching the allocator).
     #[inline]
@@ -224,6 +235,10 @@ impl<'a> TaskCtx<'a> {
 
     pub fn kernel_rows(&self) -> u64 {
         self.kernel_rows.get()
+    }
+
+    pub fn packed_kernel_rows(&self) -> u64 {
+        self.packed_kernel_rows.get()
     }
 
     pub fn scratch_reuses(&self) -> u64 {

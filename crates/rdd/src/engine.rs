@@ -509,6 +509,7 @@ impl Engine {
                     cache_misses: ctx.cache_misses(),
                     recomputed_partitions: ctx.recomputed(),
                     kernel_rows: ctx.kernel_rows(),
+                    packed_kernel_rows: ctx.packed_kernel_rows(),
                     scratch_reuses: ctx.scratch_reuses(),
                     span: task_span,
                     mono_start_ns: mono_start,

@@ -133,6 +133,9 @@ pub struct TaskMetrics {
     /// Kernel rows processed (SNP × patient cells pushed through the
     /// score kernels) — attributes task time to numeric kernels vs engine.
     pub kernel_rows: u64,
+    /// Kernel rows served by packed-direct bit kernels — scored straight
+    /// from the 2-bit words, no byte unpack (subset of `kernel_rows`).
+    pub packed_kernel_rows: u64,
     /// Kernel calls served from a pre-existing thread-local scratch
     /// buffer (no allocator traffic).
     pub scratch_reuses: u64,
@@ -352,6 +355,7 @@ impl TaskMetrics {
             "cache_misses": self.cache_misses,
             "recomputed_partitions": self.recomputed_partitions,
             "kernel_rows": self.kernel_rows,
+            "packed_kernel_rows": self.packed_kernel_rows,
             "scratch_reuses": self.scratch_reuses,
             "span": self.span.span,
             "parent_span": self.span.parent,
@@ -379,6 +383,7 @@ impl TaskMetrics {
             recomputed_partitions: get_u64(v, "recomputed_partitions")?,
             // Absent in event logs written before kernel accounting.
             kernel_rows: get_u64_or(v, "kernel_rows", 0)?,
+            packed_kernel_rows: get_u64_or(v, "packed_kernel_rows", 0)?,
             scratch_reuses: get_u64_or(v, "scratch_reuses", 0)?,
             // Absent in event logs written before span tracing.
             span: span_from_json(v)?,
@@ -924,6 +929,7 @@ pub struct StageSummary {
     pub cache_misses: u64,
     pub recomputed_partitions: u64,
     pub kernel_rows: u64,
+    pub packed_kernel_rows: u64,
     pub scratch_reuses: u64,
     pub makespan_ns: u64,
     pub local_reads: usize,
@@ -1015,6 +1021,7 @@ impl StageSummaryListener {
                 s.cache_misses += metrics.cache_misses;
                 s.recomputed_partitions += metrics.recomputed_partitions;
                 s.kernel_rows += metrics.kernel_rows;
+                s.packed_kernel_rows += metrics.packed_kernel_rows;
                 s.scratch_reuses += metrics.scratch_reuses;
             }),
             EngineEvent::StageCompleted {
@@ -1217,6 +1224,7 @@ pub struct RegistryListener {
     shuffle_stored_bytes: Arc<Counter>,
     recomputed_partitions: Arc<Counter>,
     kernel_rows: Arc<Counter>,
+    packed_kernel_rows: Arc<Counter>,
     scratch_reuses: Arc<Counter>,
     shuffle_map_reruns: Arc<Counter>,
     faults_injected: Arc<Counter>,
@@ -1285,6 +1293,10 @@ impl RegistryListener {
             kernel_rows: c(
                 "sparkscore_kernel_rows_total",
                 "SNP x patient cells processed by the score kernels",
+            ),
+            packed_kernel_rows: c(
+                "sparkscore_packed_kernel_rows_total",
+                "Kernel rows served by packed-direct bit kernels (no byte unpack)",
             ),
             scratch_reuses: c(
                 "sparkscore_scratch_reuses_total",
@@ -1363,6 +1375,7 @@ impl EventListener for RegistryListener {
                 self.recomputed_partitions
                     .add(metrics.recomputed_partitions);
                 self.kernel_rows.add(metrics.kernel_rows);
+                self.packed_kernel_rows.add(metrics.packed_kernel_rows);
                 self.scratch_reuses.add(metrics.scratch_reuses);
                 self.task_virtual_ns.observe(metrics.virtual_runtime_ns());
                 self.task_wall_ns.observe(metrics.wall_ns);
@@ -1428,6 +1441,7 @@ mod tests {
                     cache_misses: 1,
                     recomputed_partitions: 1,
                     kernel_rows: 640,
+                    packed_kernel_rows: 320,
                     scratch_reuses: 5,
                     span: SpanContext { span: 3, parent: 2 },
                     mono_start_ns: 30,

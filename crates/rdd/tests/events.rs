@@ -355,6 +355,7 @@ fn every_event_variant() -> Vec<EngineEvent> {
                 cache_misses: 8,
                 recomputed_partitions: 9,
                 kernel_rows: 10,
+                packed_kernel_rows: 6,
                 scratch_reuses: 11,
                 span: SpanContext { span: 3, parent: 2 },
                 mono_start_ns: 19,

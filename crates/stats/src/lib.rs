@@ -15,6 +15,9 @@
 //! * [`asymptotic`] — the χ²₁ score test and Liu moment-matching SKAT
 //!   p-values (the large-sample approximations resampling replaces when
 //!   regularity fails).
+//! * [`bitkern`] — popcount/word kernels that compute QC counts and
+//!   affine score contributions directly on 2-bit packed genotype
+//!   columns, never materializing bytes.
 //! * [`dist`] / [`special`] — distributions, samplers, and the special
 //!   functions behind them, implemented from scratch.
 //!
@@ -41,6 +44,7 @@
 //! ```
 
 pub mod asymptotic;
+pub mod bitkern;
 pub mod covariates;
 pub mod dist;
 pub mod exact;

@@ -62,6 +62,20 @@ pub trait ScoreModel: Send + Sync {
     /// allocate for the three primary models.
     fn contributions_into(&self, g: &[u8], out: &mut [f64]);
 
+    /// Packed-column fast path: compute the contributions directly from
+    /// a 2-bit packed genotype column (`ceil(n/4)` bytes, codes 0/1/2
+    /// plus [`MISSING_DOSAGE`]) and return `true`, or return `false`
+    /// when the model has no packed kernel and the caller must unpack
+    /// and use [`ScoreModel::contributions_into`]. Models whose
+    /// per-patient contribution is affine in the dosage (Gaussian,
+    /// binomial) override this with the popcount/table kernels in
+    /// [`crate::bitkern`]; the Cox risk-set prefix and
+    /// covariate-projected models keep the default.
+    fn contributions_into_packed(&self, packed: &[u8], out: &mut [f64]) -> bool {
+        let _ = (packed, out);
+        false
+    }
+
     /// Per-patient contributions `U_ij`, allocating the output vector.
     /// Convenience wrapper over [`ScoreModel::contributions_into`].
     fn contributions(&self, g: &[u8]) -> Vec<f64> {
@@ -276,6 +290,11 @@ impl ScoreModel for GaussianScore {
         );
         centered_residual_contributions_into(&self.residuals, g, out);
     }
+
+    fn contributions_into_packed(&self, packed: &[u8], out: &mut [f64]) -> bool {
+        crate::bitkern::residual_contributions_packed(&self.residuals, packed, out);
+        true
+    }
 }
 
 /// `U_ij = r_i (G_ij − Ḡ_j)` — shared by the Gaussian and binomial models.
@@ -333,6 +352,11 @@ impl ScoreModel for BinomialScore {
             "genotype vector length mismatch"
         );
         centered_residual_contributions_into(&self.residuals, g, out);
+    }
+
+    fn contributions_into_packed(&self, packed: &[u8], out: &mut [f64]) -> bool {
+        crate::bitkern::residual_contributions_packed(&self.residuals, packed, out);
+        true
     }
 }
 
@@ -480,6 +504,42 @@ mod tests {
         let _ = model.contributions(&[0, MISSING_DOSAGE, 1]);
     }
 
+    /// Pack a dosage vector 2-bit column-style (4 codes per byte).
+    fn pack(dosages: &[u8]) -> Vec<u8> {
+        let mut data = vec![0u8; dosages.len().div_ceil(4)];
+        for (i, &d) in dosages.iter().enumerate() {
+            data[i / 4] |= d << (2 * (i % 4));
+        }
+        data
+    }
+
+    #[test]
+    fn cox_has_no_packed_fast_path() {
+        let ph = vec![Survival::event_at(1.0), Survival::event_at(2.0)];
+        let model = CoxScore::new(&ph);
+        let mut out = vec![f64::NAN; 2];
+        assert!(!model.contributions_into_packed(&pack(&[1, 2]), &mut out));
+        assert!(out.iter().all(|v| v.is_nan()), "declining must not write");
+    }
+
+    #[test]
+    fn packed_fast_path_is_bitwise_identical_to_byte_kernel() {
+        let g: Vec<u8> = (0..37).map(|i| (i % 3) as u8).collect();
+        let packed = pack(&g);
+        let y: Vec<f64> = (0..37).map(|i| (i as f64).sin() * 4.0).collect();
+        let cases: Vec<bool> = (0..37).map(|i| i % 3 == 0).collect();
+        let gauss = GaussianScore::new(&y);
+        let binom = BinomialScore::new(&cases);
+        let mut byte_out = vec![0.0; 37];
+        let mut packed_out = vec![f64::NAN; 37];
+        gauss.contributions_into(&g, &mut byte_out);
+        assert!(gauss.contributions_into_packed(&packed, &mut packed_out));
+        assert_eq!(byte_out, packed_out);
+        binom.contributions_into(&g, &mut byte_out);
+        assert!(binom.contributions_into_packed(&packed, &mut packed_out));
+        assert_eq!(byte_out, packed_out);
+    }
+
     /// The pre-`contributions_into` float summation order, kept as a
     /// bitwise oracle for the centered-residual kernel's integer sum.
     fn centered_naive(residuals: &[f64], g: &[u8]) -> Vec<f64> {
@@ -571,6 +631,39 @@ mod tests {
             binom.contributions_into(&g, &mut out);
             prop_assert_eq!(&out, &binom.contributions(&g));
             prop_assert_eq!(&out, &centered_naive(&binom.residuals, &g));
+        }
+
+        /// The packed fast path reproduces the byte kernel bitwise for
+        /// the affine models — same contributions, hence the same score
+        /// and variance — on every cohort size (all n%4 tails).
+        #[test]
+        fn prop_packed_fast_path_equals_byte_kernel(
+            raw in proptest::collection::vec((0u8..3, -50.0f64..50.0, any::<bool>()), 1..80)
+        ) {
+            let n = raw.len();
+            let g: Vec<u8> = raw.iter().map(|&(d, _, _)| d).collect();
+            let y: Vec<f64> = raw.iter().map(|&(_, v, _)| v).collect();
+            let cases: Vec<bool> = raw.iter().map(|&(_, _, c)| c).collect();
+            let packed = pack(&g);
+            let mut byte_out = vec![0.0; n];
+            let mut packed_out = vec![f64::NAN; n];
+            for model in [GaussianScore::new(&y), GaussianScore::new(&y).permuted(&{
+                let mut p: Vec<usize> = (0..n).collect();
+                p.reverse();
+                p
+            })] {
+                model.contributions_into(&g, &mut byte_out);
+                prop_assert!(model.contributions_into_packed(&packed, &mut packed_out));
+                prop_assert_eq!(&byte_out, &packed_out);
+                let (u, v) = score_and_variance(&byte_out);
+                let (up, vp) = score_and_variance(&packed_out);
+                prop_assert_eq!(u.to_bits(), up.to_bits());
+                prop_assert_eq!(v.to_bits(), vp.to_bits());
+            }
+            let binom = BinomialScore::new(&cases);
+            binom.contributions_into(&g, &mut byte_out);
+            prop_assert!(binom.contributions_into_packed(&packed, &mut packed_out));
+            prop_assert_eq!(&byte_out, &packed_out);
         }
 
         /// The O(n) `permuted` agrees with rebuilding from the shuffled

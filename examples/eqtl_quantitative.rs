@@ -7,6 +7,11 @@
 //! the Liu moment-matching asymptotic approximation.
 //!
 //! Run with: `cargo run --release --example eqtl_quantitative`
+//!
+//! Set `SPARKSCORE_EVENTS_DIR=<dir>` to also write a JSONL event log
+//! (`<dir>/eqtl_quantitative.jsonl`). The Gaussian score model is affine
+//! in dosage, so every kernel row is served by the packed-direct bit
+//! kernels — `trace report` shows the split in its `== kernels ==` line.
 
 use std::sync::Arc;
 
@@ -14,9 +19,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sparkscore_cluster::ClusterSpec;
 use sparkscore_core::{AnalysisOptions, Phenotype, SparkScoreContext};
-use sparkscore_rdd::Engine;
+use sparkscore_rdd::{Engine, EventListener, EventLogListener};
 use sparkscore_stats::asymptotic::skat_liu_pvalue;
 use sparkscore_stats::dist::sample_standard_normal;
+use sparkscore_stats::qc::QcThresholds;
 use sparkscore_stats::score::{score_and_variance, GaussianScore, ScoreModel};
 use sparkscore_stats::skat::SnpSet;
 
@@ -46,7 +52,15 @@ fn main() {
         .collect();
     let causal_set = 3u64; // SNP 30 lives in window 3.
 
-    let engine = Engine::builder(ClusterSpec::m3_2xlarge(4)).build();
+    let mut builder = Engine::builder(ClusterSpec::m3_2xlarge(4));
+    let mut log = None;
+    if let Some(dir) = std::env::var_os("SPARKSCORE_EVENTS_DIR") {
+        let path = std::path::PathBuf::from(dir).join("eqtl_quantitative.jsonl");
+        let listener = Arc::new(EventLogListener::to_file(&path).expect("events dir writable"));
+        builder = builder.listener(Arc::clone(&listener) as Arc<dyn EventListener>);
+        log = Some((listener, path));
+    }
+    let engine = builder.build();
     let gm = engine.parallelize(
         rows.iter()
             .enumerate()
@@ -63,6 +77,12 @@ fn main() {
         &sets,
         AnalysisOptions::default(),
     );
+
+    // QC straight off the packed columns: counts, MAF, and HWE via
+    // popcount kernels, no byte dosages materialized.
+    let qc = ctx.qc(QcThresholds::default());
+    let passing = qc.iter().filter(|q| q.verdict.is_ok()).count();
+    println!("QC (packed-direct): {passing}/{} SNPs pass\n", qc.len());
 
     let run = ctx.monte_carlo(499, 5, true);
     let mc_p = run.pvalues();
@@ -110,4 +130,8 @@ fn main() {
         )
     );
     println!("virtual cluster time: {:.1}s", run.virtual_secs);
+    if let Some((listener, path)) = log {
+        listener.flush().expect("flush event log");
+        println!("event log: {}", path.display());
+    }
 }

@@ -80,11 +80,17 @@ wait "$ops_pid"
 
 echo "== kernels smoke: packed/blocked kernels match references and emit JSON =="
 kernels_json="$events_dir/BENCH_kernels_smoke.json"
+# Cohort large enough that the packed-direct vs byte ratio below measures
+# kernel cost, not per-call fixed overhead.
 cargo run --release -p sparkscore-bench --bin kernels -- \
-    --patients 200 --snps 64 --replicates 40 --tile 8 --passes 2 \
+    --patients 2000 --snps 64 --replicates 40 --tile 8 --passes 2 \
     --out "$kernels_json" > /dev/null
 [ -s "$kernels_json" ] || { echo "kernels smoke: no JSON at $kernels_json" >&2; exit 1; }
 grep -q '"blocked_speedup"' "$kernels_json" \
     || { echo "kernels smoke: JSON missing blocked_speedup" >&2; exit 1; }
+direct_ratio="$(sed -n 's/.*"direct_over_byte": \([0-9.eE+-]*\).*/\1/p' "$kernels_json")"
+[ -n "$direct_ratio" ] || { echo "kernels smoke: JSON missing direct_over_byte" >&2; exit 1; }
+awk -v r="$direct_ratio" 'BEGIN { exit (r + 0 < 1.0) ? 0 : 1 }' \
+    || { echo "kernels smoke: packed-direct kernels slower than byte path (ratio $direct_ratio >= 1.0)" >&2; exit 1; }
 
 echo "CI gate passed."
