@@ -406,6 +406,33 @@ impl SparkScoreContext {
             .collect()
     }
 
+    /// The sorted set ids every result row order follows.
+    pub fn set_ids(&self) -> &[u64] {
+        &self.set_ids
+    }
+
+    /// Build the `U` contributions dataset once, for explicit sharing:
+    /// callers that `cache()` the returned handle and reuse it across
+    /// many score passes (e.g. a multi-tenant service answering gene
+    /// queries over one cohort) materialize the contributions exactly
+    /// once. Every call creates a fresh lineage (and cache key), so
+    /// sharing requires sharing the returned `Dataset` handle itself.
+    pub fn u_dataset(&self) -> Dataset<(u64, Vec<f64>)> {
+        let model_bc = self.engine.broadcast(self.model.clone());
+        self.u_rdd(&model_bc)
+    }
+
+    /// Algorithm 1 steps 8–12 over a caller-held `U` dataset (see
+    /// [`SparkScoreContext::u_dataset`]): per-set scores, optionally
+    /// under Monte Carlo multipliers (Algorithm 3's replicate pass).
+    pub fn set_scores(
+        &self,
+        u: &Dataset<(u64, Vec<f64>)>,
+        mc_multipliers: Option<Broadcast<Vec<f64>>>,
+    ) -> Vec<SetScore> {
+        self.set_scores_from_u(u, mc_multipliers)
+    }
+
     /// Variant-by-variant analysis (the paper's other GWAS mode): marginal
     /// score, empirical variance, and χ²₁ asymptotic p-value per SNP,
     /// sorted by SNP id.

@@ -30,12 +30,12 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use sparkscore_rdd::events::fmt_ns;
-use sparkscore_rdd::{FlightRecorder, MemoryLedger, PoolProfiler, Registry};
+use sparkscore_rdd::{FlightRecorder, JobService, MemoryLedger, PoolProfiler, Registry};
 
 use crate::analyze::critical_paths;
 use crate::trace::ExecutionTrace;
 
-const HELP: &str = "commands:\n  metrics        Prometheus text exposition of live gauges/counters\n  jobs           live job table: phase, retained events, critical path so far\n  trace          flight-recorder dump of every retained job (JSONL)\n  trace <job>    flight-recorder dump of one job (JSONL)\n  profile        pool profiler wall-clock attribution\n  memory         live memory ledger: used/peak bytes per category\n  help           this text\n";
+const HELP: &str = "commands:\n  metrics        Prometheus text exposition of live gauges/counters\n  jobs           live job table: phase, retained events, critical path so far\n  trace          flight-recorder dump of every retained job (JSONL)\n  trace <job>    flight-recorder dump of one job (JSONL)\n  profile        pool profiler wall-clock attribution\n  memory         live memory ledger: used/peak bytes per category\n  queue          job service status: bounds, depth, flow counters, live jobs\n  tenants        per-tenant quotas, backlog, and flow counters\n  help           this text\n";
 
 /// The optional data sources a server exposes. Shared by every connection.
 struct Sources {
@@ -43,6 +43,7 @@ struct Sources {
     recorder: Option<Arc<FlightRecorder>>,
     profiler: Option<Arc<PoolProfiler>>,
     memory: Option<Arc<MemoryLedger>>,
+    service: Option<Arc<JobService>>,
 }
 
 /// Configures and starts an [`OpsServer`].
@@ -84,6 +85,12 @@ impl OpsServerBuilder {
         self
     }
 
+    /// Serve this job service's status under `queue` and `tenants`.
+    pub fn service(mut self, service: Arc<JobService>) -> Self {
+        self.sources.service = Some(service);
+        self
+    }
+
     /// Bind and start the accept thread.
     pub fn start(self) -> io::Result<OpsServer> {
         let listener = TcpListener::bind(&self.addr)?;
@@ -121,6 +128,7 @@ impl OpsServer {
                 recorder: None,
                 profiler: None,
                 memory: None,
+                service: None,
             },
         }
     }
@@ -199,6 +207,14 @@ fn respond(line: &str, sources: &Sources) -> String {
             || "err: no memory ledger attached\n".to_string(),
             |l| memory_table(l),
         ),
+        ["queue"] => sources.service.as_ref().map_or_else(
+            || "err: no job service attached\n".to_string(),
+            |s| queue_table(s),
+        ),
+        ["tenants"] => sources.service.as_ref().map_or_else(
+            || "err: no job service attached\n".to_string(),
+            |s| tenants_table(s),
+        ),
         ["help"] | [] => HELP.to_string(),
         _ => format!("err: unknown command {line:?}; try help\n"),
     }
@@ -219,6 +235,69 @@ fn memory_table(ledger: &MemoryLedger) -> String {
         ));
     }
     out.push_str(&format!("{:<14}  {:>12}\n", "total", ledger.total_used()));
+    out
+}
+
+/// The `queue` table: service-wide bounds and flow counters, then one
+/// line per retained service job (queued, running, recent terminal).
+fn queue_table(service: &JobService) -> String {
+    let status = service.queue_status();
+    let mut out = format!(
+        "queue {}/{} queued, {} running{}{}\n\
+         flow: submitted {} rejected {} dispatched {} completed {} failed {} cancelled {}\n",
+        status.queued,
+        status.capacity,
+        status.running,
+        if status.paused { "  [paused]" } else { "" },
+        if status.shutting_down {
+            "  [shutting down]"
+        } else {
+            ""
+        },
+        status.stats.submitted,
+        status.stats.rejected,
+        status.stats.dispatched,
+        status.stats.completed,
+        status.stats.failed,
+        status.stats.cancelled,
+    );
+    for job in service.jobs() {
+        out.push_str(&format!(
+            "job {:>4}  {:<10}  tenant {}\n",
+            job.id,
+            job.state.name(),
+            job.tenant,
+        ));
+    }
+    out
+}
+
+/// The `tenants` table: one line per tenant — quotas, live backlog, and
+/// flow counters.
+fn tenants_table(service: &JobService) -> String {
+    let tenants = service.tenants();
+    if tenants.is_empty() {
+        return "no tenants registered\n".to_string();
+    }
+    let mut out = String::from(
+        "tenant            w  queued/max  running/max  submitted  rejected  completed  failed  cancelled\n",
+    );
+    for t in tenants {
+        out.push_str(&format!(
+            "{:<16} {:>2}  {:>5}/{:<5} {:>6}/{:<5} {:>9} {:>9} {:>10} {:>7} {:>10}\n",
+            t.name,
+            t.weight,
+            t.queued,
+            t.max_queued,
+            t.running,
+            t.max_running,
+            t.stats.submitted,
+            t.stats.rejected,
+            t.stats.completed,
+            t.stats.failed,
+            t.stats.cancelled,
+        ));
+    }
     out
 }
 
@@ -248,13 +327,14 @@ fn jobs_table(recorder: &FlightRecorder) -> String {
                 },
             );
         out.push_str(&format!(
-            "job {:>4}  {:<8}  events {:>4}/{:<4}  {}{}\n",
+            "job {:>4}  {:<8}  {:<12}  events {:>4}/{:<4}  {}{}\n",
             status.job,
             if status.finished {
                 "finished"
             } else {
                 "running"
             },
+            status.tenant.as_deref().unwrap_or("-"),
             status.retained,
             status.seen,
             path,
@@ -397,6 +477,58 @@ mod tests {
     }
 
     #[test]
+    fn queue_and_tenants_report_service_state() {
+        use sparkscore_cluster::ClusterSpec;
+        use sparkscore_rdd::{Engine, JobService, ShutdownMode, TenantConfig};
+        let engine = Engine::builder(ClusterSpec::test_small(2))
+            .host_threads(2)
+            .build();
+        let service = JobService::builder(engine)
+            .workers(1)
+            .start_paused()
+            .tenant(
+                "acme",
+                TenantConfig {
+                    max_queued: 4,
+                    max_running: 1,
+                    weight: 2,
+                },
+            )
+            .tenant("zeta", TenantConfig::default())
+            .build();
+        let job = service.submit("acme", |_| Ok(())).unwrap();
+        let server = OpsServer::builder()
+            .service(Arc::clone(&service))
+            .start()
+            .expect("start ops server");
+        let addr = server.local_addr();
+
+        let queue = send(addr, "queue");
+        assert!(queue.contains("queue 1/256 queued"), "{queue}");
+        assert!(queue.contains("[paused]"), "{queue}");
+        assert!(queue.contains("submitted 1"), "{queue}");
+        assert!(queue.contains(&format!("job {job:>4}  queued")), "{queue}");
+        assert!(queue.contains("tenant acme"), "{queue}");
+
+        let tenants = send(addr, "tenants");
+        assert!(tenants.contains("acme"), "{tenants}");
+        assert!(tenants.contains("zeta"), "{tenants}");
+        let acme_row = tenants.lines().find(|l| l.starts_with("acme")).unwrap();
+        assert!(acme_row.contains("1/4"), "queued/max: {acme_row}");
+
+        let help = send(addr, "help");
+        assert!(help.contains("queue"), "{help}");
+        assert!(help.contains("tenants"), "{help}");
+
+        service.resume();
+        service.drain();
+        let queue = send(addr, "queue");
+        assert!(queue.contains("completed 1"), "{queue}");
+        server.stop();
+        service.shutdown(ShutdownMode::Drain);
+    }
+
+    #[test]
     fn missing_sources_and_bad_commands_err() {
         let server = OpsServer::builder().start().expect("start ops server");
         let addr = server.local_addr();
@@ -404,6 +536,8 @@ mod tests {
         assert_eq!(send(addr, "jobs"), "err: no recorder attached\n");
         assert_eq!(send(addr, "profile"), "err: no profiler attached\n");
         assert_eq!(send(addr, "memory"), "err: no memory ledger attached\n");
+        assert_eq!(send(addr, "queue"), "err: no job service attached\n");
+        assert_eq!(send(addr, "tenants"), "err: no job service attached\n");
         assert!(send(addr, "frobnicate").starts_with("err: unknown command"));
         assert!(send(addr, "trace nope").starts_with("err: no recorder"));
         // stop() is idempotent and Drop tolerates an already-stopped server.

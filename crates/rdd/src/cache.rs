@@ -341,7 +341,7 @@ mod tests {
     fn ever_present_tracks_recompute_eligibility() {
         let c = CacheManager::new(1 << 20);
         assert!(!c.was_ever_present(OpId(1), 0));
-        let one = slice_bytes(&vec![0u64; 1]) as u64;
+        let one = slice_bytes(&[0u64; 1]) as u64;
         c.put(OpId(1), 0, block(1), N0);
         assert_eq!(c.drop_lru_one(), Some((OpId(1), 0, one)));
         assert!(c.was_ever_present(OpId(1), 0));
@@ -365,7 +365,7 @@ mod tests {
         c.mark(OpId(1));
         c.put(OpId(1), 0, block(5), N0);
         c.put(OpId(1), 1, block(5), N0);
-        let five = slice_bytes(&vec![0u64; 5]) as u64;
+        let five = slice_bytes(&[0u64; 5]) as u64;
         let mut dropped = c.unmark(OpId(1));
         dropped.sort_unstable();
         assert_eq!(dropped, vec![(0, five), (1, five)]);
@@ -396,7 +396,7 @@ mod tests {
     #[test]
     fn resident_bytes_sums_per_op() {
         let c = CacheManager::new(1 << 20);
-        let one = slice_bytes(&vec![0u64; 1]) as u64;
+        let one = slice_bytes(&[0u64; 1]) as u64;
         c.put(OpId(1), 0, block(1), N0);
         c.put(OpId(1), 3, block(1), N0);
         c.put(OpId(2), 0, block(1), N0);

@@ -52,6 +52,7 @@ pub mod ops;
 pub mod pool;
 pub mod profiler;
 pub mod recorder;
+pub mod service;
 pub mod shuffle;
 
 pub use context::TaskCtx;
@@ -69,7 +70,11 @@ pub use ops::shuffled::Aggregator;
 pub use ops::Data;
 pub use pool::{ParticipantSnapshot, ParticipantState, PoolDiagnostics, PoolSnapshot};
 pub use profiler::{PoolProfile, PoolProfiler, ProfilerBuilder};
-pub use recorder::{FlightRecorder, JobStatus};
+pub use recorder::{set_thread_tenant, FlightRecorder, JobStatus};
+pub use service::{
+    AdmissionQueue, JobInfo, JobService, JobServiceBuilder, JobState, QueueStats, QueueStatus,
+    RejectReason, ServiceConfig, ShutdownMode, TenantConfig, TenantStatus,
+};
 pub use shuffle::SHUFFLE_SHARDS;
 
 /// Identifier of one operator in a lineage graph.

@@ -13,12 +13,39 @@
 //! plane: one mutex taken once per batch (the engine emits all of a
 //! stage's task events in a single batch), constant-time ring pushes, and
 //! no allocation after a ring reaches capacity.
+//!
+//! Retention is **keyed by tenant** for multi-tenant services: a job
+//! started by a thread tagged via [`set_thread_tenant`] carries the
+//! tenant name in its [`JobStatus`], and when the job bound forces an
+//! eviction the victim comes from the tenant holding the most rings —
+//! one chatty tenant cannot wipe the other tenants' traces.
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 
 use parking_lot::Mutex;
 
 use crate::events::{EngineEvent, EventListener};
+
+thread_local! {
+    /// The tenant owning whatever jobs the current thread starts. Event
+    /// listeners run synchronously on the emitting thread, so a service
+    /// worker that tags itself before running a job payload attributes
+    /// every engine job that payload starts to the right tenant.
+    static TENANT_TAG: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+/// Tag (or untag, with `None`) the current thread with a tenant name for
+/// flight-recorder job attribution. Jobs started while untagged are
+/// recorded without a tenant, exactly as before the service plane.
+pub fn set_thread_tenant(tenant: Option<&str>) {
+    TENANT_TAG.with(|t| *t.borrow_mut() = tenant.map(str::to_string));
+}
+
+/// The current thread's tenant tag, if any.
+pub fn current_thread_tenant() -> Option<String> {
+    TENANT_TAG.with(|t| t.borrow().clone())
+}
 
 /// Default events retained per job.
 pub const DEFAULT_EVENTS_PER_JOB: usize = 512;
@@ -72,6 +99,8 @@ impl Ring {
 
 struct JobRing {
     job: u64,
+    /// The thread tenant tag at the moment the job was first seen.
+    tenant: Option<String>,
     finished: bool,
     ring: Ring,
 }
@@ -95,6 +124,9 @@ struct RecorderState {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JobStatus {
     pub job: u64,
+    /// Owning tenant, when the job was started by a tagged service
+    /// worker ([`set_thread_tenant`]); `None` for untagged jobs.
+    pub tenant: Option<String>,
     /// `false` while the job is still running.
     pub finished: bool,
     /// Events currently retained in the ring.
@@ -141,11 +173,39 @@ impl FlightRecorder {
             .iter()
             .map(|j| JobStatus {
                 job: j.job,
+                tenant: j.tenant.clone(),
                 finished: j.finished,
                 retained: j.ring.len(),
                 seen: j.ring.seen,
             })
             .collect()
+    }
+
+    /// Status of every tracked job belonging to `tenant`, arrival order.
+    pub fn tenant_jobs(&self, tenant: &str) -> Vec<JobStatus> {
+        self.jobs()
+            .into_iter()
+            .filter(|j| j.tenant.as_deref() == Some(tenant))
+            .collect()
+    }
+
+    /// Dump every retained job of `tenant` as JSONL, arrival order;
+    /// `None` if no tracked job belongs to the tenant.
+    pub fn dump_tenant(&self, tenant: &str) -> Option<String> {
+        let st = self.state.lock();
+        let mut out = String::new();
+        let mut any = false;
+        for j in &st.jobs {
+            if j.tenant.as_deref() != Some(tenant) {
+                continue;
+            }
+            any = true;
+            for e in j.ring.events() {
+                out.push_str(&e.to_json().to_string());
+                out.push('\n');
+            }
+        }
+        any.then_some(out)
     }
 
     /// The retained events of `job`, oldest first; `None` for an unknown
@@ -257,15 +317,30 @@ impl FlightRecorder {
             return &mut st.jobs[i];
         }
         if st.jobs.len() >= self.max_jobs {
-            // Prefer evicting a finished job (oldest first); fall back to
-            // the oldest job outright so new work is always recordable.
-            let victim = st.jobs.iter().position(|j| j.finished).unwrap_or(0);
+            // Retention is keyed by tenant: among finished jobs, evict
+            // from the tenant holding the most rings (oldest of that
+            // tenant first), so one chatty tenant's burst cannot wipe the
+            // other tenants' traces. Fall back to the oldest finished
+            // job, then the oldest outright, so new work is always
+            // recordable.
+            let mut per_tenant: BTreeMap<Option<&str>, usize> = BTreeMap::new();
+            for j in &st.jobs {
+                *per_tenant.entry(j.tenant.as_deref()).or_insert(0) += 1;
+            }
+            let victim = st
+                .jobs
+                .iter()
+                .enumerate()
+                .filter(|(_, j)| j.finished)
+                .max_by_key(|(i, j)| (per_tenant[&j.tenant.as_deref()], std::cmp::Reverse(*i)))
+                .map_or(0, |(i, _)| i);
             let evicted = st.jobs.remove(victim);
             st.stage_job.retain(|_, &mut j| j != evicted.job);
             st.evicted_jobs += 1;
         }
         st.jobs.push(JobRing {
             job,
+            tenant: current_thread_tenant(),
             finished: false,
             ring: Ring::new(self.per_job),
         });
@@ -424,6 +499,43 @@ mod tests {
         assert_eq!(tracked, vec![1, 2], "finished job 0 evicted");
         assert_eq!(rec.evicted_jobs(), 1);
         assert!(rec.job_events(0).is_none());
+    }
+
+    #[test]
+    fn jobs_are_attributed_to_the_thread_tenant() {
+        let rec = FlightRecorder::new();
+        set_thread_tenant(Some("alice"));
+        rec.on_events(&job_events(0, 0, 1));
+        set_thread_tenant(None);
+        rec.on_events(&job_events(1, 1, 1));
+        let jobs = rec.jobs();
+        assert_eq!(jobs[0].tenant.as_deref(), Some("alice"));
+        assert_eq!(jobs[1].tenant, None);
+        let alice = rec.tenant_jobs("alice");
+        assert_eq!(alice.len(), 1);
+        assert_eq!(alice[0].job, 0);
+        let dump = rec.dump_tenant("alice").expect("alice has a ring");
+        assert_eq!(parse_event_log(&dump).unwrap().len(), 5);
+        assert!(rec.dump_tenant("bob").is_none());
+    }
+
+    #[test]
+    fn eviction_prefers_the_most_crowded_tenant() {
+        let rec = FlightRecorder::with_capacity(16, 3);
+        set_thread_tenant(Some("noisy"));
+        rec.on_events(&job_events(0, 0, 1));
+        rec.on_events(&job_events(1, 1, 1));
+        set_thread_tenant(Some("quiet"));
+        rec.on_events(&job_events(2, 2, 1));
+        // The job bound is reached; the new job must evict noisy's
+        // oldest finished ring, not quiet's only one.
+        set_thread_tenant(Some("noisy"));
+        rec.on_events(&job_events(3, 3, 1));
+        set_thread_tenant(None);
+        let tracked: Vec<u64> = rec.jobs().iter().map(|j| j.job).collect();
+        assert_eq!(tracked, vec![1, 2, 3], "noisy's oldest evicted");
+        assert_eq!(rec.tenant_jobs("quiet").len(), 1, "quiet survives");
+        assert_eq!(rec.evicted_jobs(), 1);
     }
 
     #[test]

@@ -78,6 +78,48 @@ grep -q '"peak_cache_bytes"' <<< "$mem_json" \
     || { echo "ops smoke: trace memory JSON missing peak_cache_bytes" >&2; kill "$ops_pid"; exit 1; }
 wait "$ops_pid"
 
+echo "== service smoke: multi-tenant job service serves queue/tenants/metrics live =="
+svc_out="$events_dir/job_service.out"
+cargo build --release -p sparkscore-core --example job_service
+./target/release/examples/job_service 6 > "$svc_out" &
+svc_pid=$!
+svc_port=""
+for _ in $(seq 1 50); do
+    svc_port="$(sed -n 's/^ops endpoint listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$svc_out")"
+    [ -n "$svc_port" ] && break
+    sleep 0.1
+done
+[ -n "$svc_port" ] || { echo "service smoke: endpoint never came up" >&2; kill "$svc_pid"; exit 1; }
+svc_scrape() {
+    exec 3<>"/dev/tcp/127.0.0.1/$svc_port"
+    printf '%s\n' "$1" >&3
+    cat <&3
+    exec 3<&- 3>&-
+}
+svc_queue="$(svc_scrape queue)"
+grep -q '^queue [0-9]*/[0-9]* queued' <<< "$svc_queue" \
+    || { echo "service smoke: queue scrape missing header" >&2; kill "$svc_pid"; exit 1; }
+grep -q '^flow: submitted ' <<< "$svc_queue" \
+    || { echo "service smoke: queue scrape missing flow counters" >&2; kill "$svc_pid"; exit 1; }
+svc_tenants="$(svc_scrape tenants)"
+for tenant in genomics-lab biobank clinic; do
+    grep -q "^$tenant " <<< "$svc_tenants" \
+        || { echo "service smoke: tenants scrape missing $tenant row" >&2; kill "$svc_pid"; exit 1; }
+done
+svc_metrics="$(svc_scrape metrics)"
+grep -q '^sparkscore_service_submitted_total ' <<< "$svc_metrics" \
+    || { echo "service smoke: metrics scrape missing service counters" >&2; kill "$svc_pid"; exit 1; }
+svc_dump="$events_dir/job_service_trace.jsonl"
+svc_scrape trace > "$svc_dump"
+[ -s "$svc_dump" ] || { echo "service smoke: empty trace dump" >&2; kill "$svc_pid"; exit 1; }
+svc_report="$(cargo run --release -p sparkscore-obs --bin trace -- report --json "$svc_dump")" \
+    || { echo "service smoke: trace dump did not parse" >&2; kill "$svc_pid"; exit 1; }
+grep -q '"cache"' <<< "$svc_report" \
+    || { echo "service smoke: trace report JSON missing cache section" >&2; kill "$svc_pid"; exit 1; }
+wait "$svc_pid"
+grep -q '^answered [0-9]* of [0-9]* queries' "$svc_out" \
+    || { echo "service smoke: service did not report its query tally" >&2; exit 1; }
+
 echo "== kernels smoke: packed/blocked kernels match references and emit JSON =="
 kernels_json="$events_dir/BENCH_kernels_smoke.json"
 # Cohort large enough that the packed-direct vs byte ratio below measures
