@@ -1,0 +1,332 @@
+//! Distributed-resampling benchmark: Algorithm 3 as a replicate-tile ×
+//! partition GEMM grid over the engine, against the sequential blocked
+//! oracle and a single-task engine run.
+//!
+//! Three sections, each asserting bitwise-identical results *before*
+//! anything is timed (Cox phenotype, so the grid's `U` pass and the
+//! oracle share the byte kernel exactly):
+//!
+//! * **single-task grid** — the full grid on a 1-node cluster over a
+//!   1-partition `U` dataset: every tile is one task, the serial
+//!   reference in virtual cluster time.
+//! * **distributed grid** — the same replicate stream on a 4-node
+//!   cluster over a multi-partition `U` dataset. The virtual-time ratio
+//!   against the single-task run is the PR's headline number; host
+//!   wall-clock is reported alongside for honesty (this harness runs the
+//!   simulated cluster on whatever cores the host has).
+//! * **adaptive early stopping** — the distributed grid under a
+//!   [`StoppingRule`], checked exactly equal (counts, replicates used,
+//!   run, saved) to the sequential adaptive oracle. The replicate
+//!   reduction `(run + saved) / run` is deterministic and gated in CI.
+//!
+//! Emits `BENCH_resample.json` (or `--out PATH`) and validates that the
+//! emitted file parses back, so CI catches a rotten harness immediately.
+
+use std::time::Instant;
+
+use sparkscore_cluster::ClusterSpec;
+use sparkscore_core::{AnalysisOptions, McGridOptions, SparkScoreContext};
+use sparkscore_data::{GwasDataset, SyntheticConfig};
+use sparkscore_rdd::Engine;
+use sparkscore_stats::pvalue::StoppingRule;
+use sparkscore_stats::resample::{monte_carlo_adaptive, monte_carlo_blocked, MC_TILE};
+use sparkscore_stats::skat::SnpSet;
+
+struct Options {
+    patients: usize,
+    snps: usize,
+    sets: usize,
+    replicates: usize,
+    partitions: usize,
+    min_replicates: usize,
+    alpha: f64,
+    half_width: f64,
+    seed: u64,
+    out: String,
+}
+
+impl Options {
+    fn from_args() -> Self {
+        let mut opts = Options {
+            patients: 3000,
+            snps: 384,
+            sets: 48,
+            replicates: 1500,
+            partitions: 8,
+            min_replicates: 100,
+            alpha: 0.05,
+            half_width: 0.02,
+            seed: 29,
+            out: "BENCH_resample.json".to_string(),
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            let mut take = |name: &str| -> String {
+                args.next()
+                    .unwrap_or_else(|| panic!("{name} requires a value"))
+            };
+            match arg.as_str() {
+                "--patients" => opts.patients = take("--patients").parse().expect("integer"),
+                "--snps" => opts.snps = take("--snps").parse().expect("integer"),
+                "--sets" => opts.sets = take("--sets").parse().expect("integer"),
+                "--replicates" => opts.replicates = take("--replicates").parse().expect("integer"),
+                "--partitions" => opts.partitions = take("--partitions").parse().expect("integer"),
+                "--min-replicates" => {
+                    opts.min_replicates = take("--min-replicates").parse().expect("integer")
+                }
+                "--alpha" => opts.alpha = take("--alpha").parse().expect("float"),
+                "--half-width" => opts.half_width = take("--half-width").parse().expect("float"),
+                "--seed" => opts.seed = take("--seed").parse().expect("integer"),
+                "--out" => opts.out = take("--out"),
+                other => {
+                    eprintln!("unknown argument {other}");
+                    eprintln!(
+                        "usage: resample [--patients N] [--snps N] [--sets N] [--replicates N] \
+                         [--partitions N] [--min-replicates N] [--alpha X] [--half-width X] \
+                         [--seed N] [--out PATH]"
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        assert!(
+            opts.patients >= 1
+                && opts.snps >= 1
+                && opts.sets >= 1
+                && opts.replicates >= 1
+                && opts.partitions >= 1
+                && opts.min_replicates >= 1
+        );
+        opts
+    }
+}
+
+/// Dense oracle inputs indexed by SNP id — the layout under which the
+/// sequential oracles share the grid's summation order exactly.
+fn dense_oracle_inputs(ds: &GwasDataset) -> (Vec<Vec<u8>>, Vec<f64>, Vec<SnpSet>) {
+    let n = ds.phenotypes.len();
+    let max_snp = ds
+        .sets
+        .iter()
+        .flat_map(|s| s.members.iter())
+        .max()
+        .expect("sets are non-empty")
+        + 1;
+    let mut rows = vec![vec![0u8; n]; max_snp];
+    for r in &ds.genotypes {
+        if (r.id as usize) < max_snp {
+            rows[r.id as usize] = r.dosages.clone();
+        }
+    }
+    let mut weights = vec![0.0f64; max_snp];
+    for (j, &w) in ds.weights.iter().enumerate() {
+        if j < max_snp {
+            weights[j] = w;
+        }
+    }
+    let mut sets = ds.sets.clone();
+    sets.sort_by_key(|s| s.id);
+    (rows, weights, sets)
+}
+
+fn main() {
+    let opts = Options::from_args();
+    let cfg = SyntheticConfig {
+        patients: opts.patients,
+        snps: opts.snps,
+        snp_sets: opts.sets,
+        ..SyntheticConfig::small(opts.seed)
+    };
+    let ds = GwasDataset::generate(&cfg);
+    let (rows, weights, sets) = dense_oracle_inputs(&ds);
+    let fixed = McGridOptions::fixed(opts.replicates, opts.seed);
+    let rule = StoppingRule::new(opts.min_replicates, opts.alpha, opts.half_width);
+    let adaptive = McGridOptions::adaptive(opts.replicates, opts.seed, rule);
+
+    // ---- sequential blocked oracle: the identity reference ----
+    // Compute once untimed for the identity asserts, then time a second
+    // pass as the host-sequential wall reference.
+    let single_ctx = SparkScoreContext::from_memory(
+        Engine::builder(ClusterSpec::test_small(1)).build(),
+        &ds,
+        1,
+        AnalysisOptions::default(),
+    );
+    let oracle = monte_carlo_blocked(
+        single_ctx.model(),
+        &rows,
+        &weights,
+        &sets,
+        opts.replicates,
+        opts.seed,
+        MC_TILE,
+    );
+    let start = Instant::now();
+    std::hint::black_box(monte_carlo_blocked(
+        single_ctx.model(),
+        &rows,
+        &weights,
+        &sets,
+        opts.replicates,
+        opts.seed,
+        MC_TILE,
+    ));
+    let oracle_wall_ns = start.elapsed().as_nanos() as u64;
+
+    // ---- single-task grid (1 node, 1 partition: serial tile chain) ----
+    // First pass materializes the cached `U` and the broadcast tiles and
+    // is the identity assert; the second, warm pass is what we time.
+    let grid_run =
+        |ctx: &SparkScoreContext, grid_opts: &McGridOptions| -> (sparkscore_core::McGridRun, u64) {
+            let u = ctx.u_dataset();
+            u.cache();
+            let warm = ctx.monte_carlo_grid(&u, grid_opts);
+            let grid_observed: Vec<f64> = warm.observed.iter().map(|s| s.score).collect();
+            assert_eq!(
+                grid_observed, oracle.observed,
+                "grid observed statistics must be bitwise identical to the oracle"
+            );
+            assert_eq!(
+                warm.counts_ge, oracle.counts_ge,
+                "grid exceedance counts must be bitwise identical to the oracle"
+            );
+            let start = Instant::now();
+            let timed = ctx.monte_carlo_grid(&u, grid_opts);
+            let wall_ns = start.elapsed().as_nanos() as u64;
+            u.unpersist();
+            assert_eq!(timed.counts_ge, oracle.counts_ge, "warm rerun must replay");
+            (timed, wall_ns)
+        };
+    let (single_run, single_wall_ns) = grid_run(&single_ctx, &fixed);
+
+    // ---- distributed grid (4 nodes, multi-partition) ----
+    let dist_ctx = SparkScoreContext::from_memory(
+        Engine::builder(ClusterSpec::test_small(4)).build(),
+        &ds,
+        opts.partitions,
+        AnalysisOptions::default(),
+    );
+    let (dist_run, dist_wall_ns) = grid_run(&dist_ctx, &fixed);
+    let virtual_speedup = single_run.virtual_secs / dist_run.virtual_secs;
+    let wall_speedup = single_wall_ns as f64 / dist_wall_ns as f64;
+
+    // ---- adaptive early stopping on the distributed grid ----
+    // Exactly equal to the sequential adaptive oracle: same observed
+    // statistics, counts, per-set stop points, and replicate totals.
+    let adaptive_oracle = monte_carlo_adaptive(
+        dist_ctx.model(),
+        &rows,
+        &weights,
+        &sets,
+        opts.replicates,
+        opts.seed,
+        MC_TILE,
+        &rule,
+    );
+    let u = dist_ctx.u_dataset();
+    u.cache();
+    assert_eq!(u.count(), ds.genotypes.len()); // warm the cache
+    let start = Instant::now();
+    let adaptive_run = dist_ctx.monte_carlo_grid(&u, &adaptive);
+    let adaptive_wall_ns = start.elapsed().as_nanos() as u64;
+    u.unpersist();
+    let adaptive_observed: Vec<f64> = adaptive_run.observed.iter().map(|s| s.score).collect();
+    assert_eq!(adaptive_observed, oracle.observed);
+    assert_eq!(adaptive_run.counts_ge, adaptive_oracle.counts_ge);
+    assert_eq!(
+        adaptive_run.replicates_used,
+        adaptive_oracle.replicates_used
+    );
+    assert_eq!(adaptive_run.replicates_run, adaptive_oracle.replicates_run);
+    assert_eq!(
+        adaptive_run.replicates_saved,
+        adaptive_oracle.replicates_saved
+    );
+    let potential = adaptive_run.replicates_run + adaptive_run.replicates_saved;
+    let replicate_reduction = potential as f64 / adaptive_run.replicates_run as f64;
+    let stopped_early = adaptive_run
+        .replicates_used
+        .iter()
+        .filter(|&&b| b < opts.replicates)
+        .count();
+    let (tile_hits, tile_misses) = dist_ctx.mc_tile_cache_stats();
+
+    let json = serde_json::json!({
+        "bench": "resample",
+        "patients": opts.patients as u64,
+        "snps": opts.snps as u64,
+        "sets": opts.sets as u64,
+        "replicates": opts.replicates as u64,
+        "partitions": opts.partitions as u64,
+        "tile": MC_TILE as u64,
+        "seed": opts.seed,
+        "identity": "bitwise",
+        "oracle": serde_json::json!({
+            "wall_ns": oracle_wall_ns,
+        }),
+        "single_task": serde_json::json!({
+            "nodes": 1u64,
+            "partitions": 1u64,
+            "tiles": single_run.tiles as u64,
+            "virtual_secs": single_run.virtual_secs,
+            "wall_ns": single_wall_ns,
+        }),
+        "distributed": serde_json::json!({
+            "nodes": 4u64,
+            "partitions": opts.partitions as u64,
+            "tiles": dist_run.tiles as u64,
+            "virtual_secs": dist_run.virtual_secs,
+            "wall_ns": dist_wall_ns,
+            "virtual_speedup": virtual_speedup,
+            "wall_speedup": wall_speedup,
+        }),
+        "adaptive": serde_json::json!({
+            "min_replicates": opts.min_replicates as u64,
+            "alpha": opts.alpha,
+            "half_width": opts.half_width,
+            "replicates_run": adaptive_run.replicates_run,
+            "replicates_saved": adaptive_run.replicates_saved,
+            "potential": potential,
+            "replicate_reduction": replicate_reduction,
+            "sets_stopped_early": stopped_early as u64,
+            "sets_total": adaptive_run.replicates_used.len() as u64,
+            "virtual_secs": adaptive_run.virtual_secs,
+            "wall_ns": adaptive_wall_ns,
+        }),
+        "tile_broadcasts": serde_json::json!({
+            "hits": tile_hits,
+            "misses": tile_misses,
+        }),
+    });
+    let text = serde_json::to_string_pretty(&json).expect("serialize bench report");
+    std::fs::write(&opts.out, &text).expect("write bench report");
+
+    // Self-validation: the emitted file must parse back as JSON.
+    let read_back = std::fs::read_to_string(&opts.out).expect("re-read bench report");
+    serde_json::from_str::<serde_json::Value>(&read_back).expect("bench report must parse");
+
+    println!(
+        "identity: grid == blocked oracle bitwise (observed + counts), B={} tile={}",
+        opts.replicates, MC_TILE,
+    );
+    println!(
+        "fixed B: single-task {:.2} vs 4 nodes {:.2} virtual s ({virtual_speedup:.2}x); \
+         wall {:.1} vs {:.1} ms ({wall_speedup:.2}x); oracle wall {:.1} ms",
+        single_run.virtual_secs,
+        dist_run.virtual_secs,
+        single_wall_ns as f64 / 1e6,
+        dist_wall_ns as f64 / 1e6,
+        oracle_wall_ns as f64 / 1e6,
+    );
+    println!(
+        "adaptive: ran {} of {} potential row-replicates ({replicate_reduction:.1}x cut), \
+         {stopped_early}/{} sets stopped early, {:.2} virtual s, wall {:.1} ms",
+        adaptive_run.replicates_run,
+        potential,
+        adaptive_run.replicates_used.len(),
+        adaptive_run.virtual_secs,
+        adaptive_wall_ns as f64 / 1e6,
+    );
+    println!("tile broadcasts: {tile_misses} shipped, {tile_hits} reused");
+    println!("wrote {}", opts.out);
+}

@@ -25,15 +25,17 @@ use sparkscore_data::io::{
 };
 use sparkscore_data::{DatasetPaths, GenotypeBlock, GwasDataset};
 use sparkscore_dfs::DfsError;
-use sparkscore_rdd::{Broadcast, Dataset, Engine};
+use sparkscore_rdd::{Broadcast, BroadcastTileCache, Dataset, Engine};
+use sparkscore_stats::linalg::perturb_rows_blocked;
+use sparkscore_stats::pvalue::StoppingRule;
 use sparkscore_stats::qc::{check_snp_packed, QcThresholds};
-use sparkscore_stats::resample::{mc_weights, random_permutation};
+use sparkscore_stats::resample::{mc_weights, random_permutation, MC_TILE};
 use sparkscore_stats::score::ScoreModel;
 use sparkscore_stats::scratch;
-use sparkscore_stats::skat::SnpSet;
+use sparkscore_stats::skat::{burden_statistic, skat_statistic, SnpSet};
 
 use crate::model::{Model, Phenotype};
-use crate::result::{ObservedResult, ResamplingRun, SetScore, SnpQc, SnpResult};
+use crate::result::{McGridRun, ObservedResult, ResamplingRun, SetScore, SnpQc, SnpResult};
 
 /// Per-record cost hints (in engine work units of 25 virtual ns each)
 /// modeling the reference platform — the paper's JVM/Spark 1.x stack —
@@ -104,6 +106,49 @@ impl Default for AnalysisOptions {
     }
 }
 
+/// Tunables for a distributed-GEMM resampling run
+/// ([`SparkScoreContext::monte_carlo_grid`]).
+#[derive(Debug, Clone)]
+pub struct McGridOptions {
+    /// Replicate budget `B`.
+    pub num_replicates: usize,
+    /// Multiplier RNG seed (same stream as the sequential oracles).
+    pub seed: u64,
+    /// Replicate-tile width (one broadcast + one grid job per tile).
+    pub tile: usize,
+    /// Sequential stopping rule; `None` runs the fixed-B statistical
+    /// oracle path.
+    pub stopping: Option<StoppingRule>,
+    /// Restrict the run to these set ids (e.g. one gene query); `None`
+    /// scores every set.
+    pub set_filter: Option<Vec<u64>>,
+}
+
+impl McGridOptions {
+    /// Fixed-B run at the default tile width: bitwise identical to the
+    /// sequential blocked oracle.
+    pub fn fixed(num_replicates: usize, seed: u64) -> Self {
+        McGridOptions {
+            num_replicates,
+            seed,
+            tile: MC_TILE,
+            stopping: None,
+            set_filter: None,
+        }
+    }
+
+    /// Adaptive run: tile rounds until every set's `rule` decision.
+    pub fn adaptive(num_replicates: usize, seed: u64, rule: StoppingRule) -> Self {
+        McGridOptions {
+            num_replicates,
+            seed,
+            tile: MC_TILE,
+            stopping: Some(rule),
+            set_filter: None,
+        }
+    }
+}
+
 /// One analysis bound to an engine: inputs loaded, model fitted.
 pub struct SparkScoreContext {
     engine: Arc<Engine>,
@@ -122,6 +167,17 @@ pub struct SparkScoreContext {
     weights_bc: Option<Broadcast<Vec<f64>>>,
     /// Sorted set ids, the row order of every result.
     set_ids: Vec<u64>,
+    /// The SNP-sets themselves, sorted by id (aligned with `set_ids`) —
+    /// the driver-side reduction of the resampling grid needs the member
+    /// lists.
+    sets: Vec<SnpSet>,
+    /// One past the largest SNP id in any set: the extent of every dense
+    /// per-SNP table.
+    max_snp: usize,
+    /// Memo of broadcast multiplier tiles keyed `(seed, start, width)`,
+    /// shared across every grid run on this context so repeated
+    /// same-seed queries ship each tile once.
+    mc_tile_cache: BroadcastTileCache<(u64, u64, u64)>,
     options: AnalysisOptions,
 }
 
@@ -237,6 +293,8 @@ impl SparkScoreContext {
         let snp_to_set = engine.broadcast(snp_to_set);
         let mut set_ids: Vec<u64> = sets.iter().map(|s| s.id).collect();
         set_ids.sort_unstable();
+        let mut sets_sorted: Vec<SnpSet> = sets.to_vec();
+        sets_sorted.sort_by_key(|s| s.id);
 
         // Under the broadcast ablation, gather the weights to the driver
         // once (one job) and ship a dense table to every node.
@@ -251,6 +309,7 @@ impl SparkScoreContext {
             }
         };
 
+        let mc_tile_cache = BroadcastTileCache::new(Arc::clone(&engine), 256);
         SparkScoreContext {
             engine,
             phenotype,
@@ -260,6 +319,9 @@ impl SparkScoreContext {
             snp_to_set,
             weights_bc,
             set_ids,
+            sets: sets_sorted,
+            max_snp,
+            mc_tile_cache,
             options,
         }
     }
@@ -514,6 +576,231 @@ impl SparkScoreContext {
         }
     }
 
+    /// Dense per-SNP weight table on the driver (index = SNP id).
+    fn dense_weights(&self) -> Vec<f64> {
+        match &self.weights_bc {
+            Some(table) => table.value().clone(),
+            None => {
+                let mut dense = vec![0.0f64; self.max_snp];
+                for (snp, w) in self.weights_rdd.collect() {
+                    if (snp as usize) < self.max_snp {
+                        dense[snp as usize] = w;
+                    }
+                }
+                dense
+            }
+        }
+    }
+
+    /// `(hits, misses)` of the broadcast multiplier-tile cache.
+    pub fn mc_tile_cache_stats(&self) -> (u64, u64) {
+        self.mc_tile_cache.stats()
+    }
+
+    /// **Algorithm 3 as a distributed GEMM** over the replicate-tile ×
+    /// partition grid, with optional adaptive early stopping.
+    ///
+    /// The `B × n` multiplier matrix is split into replicate tiles; each
+    /// tile's `n × k` block is broadcast (memoized per `(seed, start,
+    /// width)`) against the caller-held — typically cached — `U` dataset,
+    /// and one engine task per `(tile × partition)` grid cell runs the
+    /// blocked perturbation kernel over its partition's SNP rows. Cells
+    /// return per-SNP perturbed scores; the driver scatters them by SNP id
+    /// (a pure scatter — no cross-partition summation, so no floating-point
+    /// reassociation) and reduces per set sequentially, which keeps the
+    /// fixed-B path **bitwise identical** to the single-task
+    /// `monte_carlo_blocked` oracle.
+    ///
+    /// With a [`StoppingRule`], tile rounds double as sequential looks:
+    /// after each round every undecided set is tested, decided sets freeze
+    /// their counts, and their member rows drop out of later grid cells
+    /// (reported as `replicates_saved`). Multiplier tiles are always drawn
+    /// in full so the stream stays aligned with the fixed-B oracle —
+    /// adaptivity truncates per-set replicate streams, never re-randomizes
+    /// them; the single-machine `monte_carlo_adaptive` is the exact
+    /// semantic oracle.
+    pub fn monte_carlo_grid(
+        &self,
+        u: &Dataset<(u64, Vec<f64>)>,
+        opts: &McGridOptions,
+    ) -> McGridRun {
+        assert!(opts.tile > 0, "tile width must be positive");
+        let wall_start = Instant::now();
+        let vt_start = self.engine.virtual_time_secs();
+        let metrics_start = self.engine.metrics_snapshot();
+
+        let sets: Vec<&SnpSet> = match &opts.set_filter {
+            None => self.sets.iter().collect(),
+            Some(ids) => self.sets.iter().filter(|s| ids.contains(&s.id)).collect(),
+        };
+        assert!(!sets.is_empty(), "set filter selected no sets");
+
+        let n = self.num_patients();
+        let max_snp = self.max_snp;
+        let weights = self.dense_weights();
+
+        // Observed pass over the shared U handle: per-SNP scores scattered
+        // into a dense table, then combined per set on the driver with the
+        // same statistic functions (and summation order) as the oracle.
+        let arith_cost = n as f64 * JVM_UNITS_ARITH_PER_PATIENT;
+        let mut scores = vec![0.0f64; max_snp];
+        for (snp, s) in u
+            .map_with_cost(arith_cost, |(snp, c)| {
+                let s: f64 = c.iter().sum();
+                (snp, s)
+            })
+            .collect()
+        {
+            scores[snp as usize] = s;
+        }
+        let combine = self.options.combine;
+        let stat = |scores: &[f64], set: &SnpSet| match combine {
+            CombineMethod::Skat => skat_statistic(scores, &weights, set),
+            CombineMethod::Burden => burden_statistic(scores, &weights, set),
+        };
+        let observed: Vec<f64> = sets.iter().map(|s| stat(&scores, s)).collect();
+
+        // Rows the budget would spend work on: members of a selected set.
+        let mut set_of_snp = vec![usize::MAX; max_snp];
+        for (s, set) in sets.iter().enumerate() {
+            for &j in &set.members {
+                set_of_snp[j] = s;
+            }
+        }
+        let scope_rows = set_of_snp.iter().filter(|&&s| s != usize::MAX).count();
+
+        let b = opts.num_replicates;
+        let mut rng = StdRng::seed_from_u64(opts.seed);
+        let mut counts = vec![0usize; sets.len()];
+        let mut used = vec![0usize; sets.len()];
+        let mut decided = vec![false; sets.len()];
+        let mut replicates_run = 0u64;
+        let mut perturbed = vec![0.0f64; max_snp];
+        let mut tiles = 0usize;
+        let mut done = 0usize;
+        while done < b && decided.iter().any(|d| !d) {
+            let k = opts.tile.min(b - done);
+            // Draw the tile replicate-by-replicate — the oracle's exact
+            // order — transposed into the patient-major kernel layout.
+            let mut z_tile = vec![0.0f64; n * k];
+            for kk in 0..k {
+                for (i, zi) in mc_weights(&mut rng, n).into_iter().enumerate() {
+                    z_tile[i * k + kk] = zi;
+                }
+            }
+            let z = self
+                .mc_tile_cache
+                .get_or_broadcast((opts.seed, done as u64, k as u64), z_tile);
+
+            // Per-SNP activity plane: 0 out of scope, 1 active, 2 member
+            // of a decided set (skipped, counted as saved work).
+            let mut activity = vec![0u8; max_snp];
+            for (s, set) in sets.iter().enumerate() {
+                let mark = if decided[s] { 2u8 } else { 1u8 };
+                for &j in &set.members {
+                    activity[j] = mark;
+                }
+            }
+            let activity = self.engine.broadcast(activity);
+
+            // One grid row: a task per U partition perturbing its active
+            // rows under this tile's multipliers.
+            let cells: Vec<(Vec<u64>, Vec<f64>)> = u.grid_cells(move |ctx, _part, rows| {
+                let mut ids: Vec<u64> = Vec::new();
+                let mut urows: Vec<&[f64]> = Vec::new();
+                let mut skipped = 0u64;
+                let act = activity.value();
+                for (snp, c) in rows {
+                    match act.get(*snp as usize).copied().unwrap_or(0) {
+                        1 => {
+                            ids.push(*snp);
+                            urows.push(c.as_slice());
+                        }
+                        2 => skipped += 1,
+                        _ => {}
+                    }
+                }
+                let mut out = vec![0.0f64; urows.len() * k];
+                ctx.time_span("kernel:perturb", || {
+                    perturb_rows_blocked(&urows, n, z.value(), k, &mut out);
+                });
+                ctx.add_work(ids.len() * k, n as f64 * JVM_UNITS_ARITH_PER_PATIENT);
+                ctx.add_kernel_rows((ids.len() * n * k) as u64);
+                ctx.add_replicates_run((ids.len() * k) as u64);
+                ctx.add_replicates_saved(skipped * k as u64);
+                (ids, out)
+            });
+
+            replicates_run += cells
+                .iter()
+                .map(|(ids, _)| (ids.len() * k) as u64)
+                .sum::<u64>();
+            for kk in 0..k {
+                // Scatter this replicate's perturbed scores by SNP id —
+                // stale slots belong to decided or out-of-scope rows and
+                // are never read below.
+                for (ids, out) in &cells {
+                    for (r, &snp) in ids.iter().enumerate() {
+                        perturbed[snp as usize] = out[r * k + kk];
+                    }
+                }
+                for (s, set) in sets.iter().enumerate() {
+                    if decided[s] {
+                        continue;
+                    }
+                    if stat(&perturbed, set) >= observed[s] {
+                        counts[s] += 1;
+                    }
+                }
+            }
+            done += k;
+            tiles += 1;
+            if let Some(rule) = &opts.stopping {
+                for s in 0..sets.len() {
+                    if !decided[s] {
+                        used[s] = done;
+                        if rule.decided(counts[s], done) {
+                            decided[s] = true;
+                        }
+                    }
+                }
+            } else {
+                for slot in used.iter_mut() {
+                    *slot = done;
+                }
+            }
+        }
+
+        let potential = (scope_rows * b) as u64;
+        McGridRun {
+            observed: sets
+                .iter()
+                .zip(&observed)
+                .map(|(s, &score)| SetScore { set: s.id, score })
+                .collect(),
+            counts_ge: counts,
+            replicates_used: used,
+            max_replicates: b,
+            replicates_run,
+            replicates_saved: potential.saturating_sub(replicates_run),
+            tiles,
+            wall: wall_start.elapsed(),
+            virtual_secs: self.engine.virtual_time_secs() - vt_start,
+            metrics: self.engine.metrics_snapshot().delta_since(&metrics_start),
+        }
+    }
+
+    /// [`SparkScoreContext::monte_carlo_grid`] over a fresh cached `U`
+    /// dataset: builds the contributions, caches them for the tile jobs,
+    /// runs the grid, and unpersists.
+    pub fn monte_carlo_distributed(&self, opts: &McGridOptions) -> McGridRun {
+        let u = self.u_dataset();
+        u.cache();
+        let run = self.monte_carlo_grid(&u, opts);
+        u.unpersist();
+        run
+    }
+
     /// **Algorithm 2**: permutation resampling with `num_replicates`
     /// phenotype shufflings, each re-running the full score pipeline.
     pub fn permutation(&self, num_replicates: usize, seed: u64) -> ResamplingRun {
@@ -661,6 +948,146 @@ mod tests {
         for (a, b) in join.observed.iter().zip(&bcast.observed) {
             assert!((a.score - b.score).abs() <= 1e-9 * (1.0 + b.score.abs()));
         }
+    }
+
+    use sparkscore_stats::resample::{monte_carlo_adaptive, monte_carlo_blocked};
+
+    /// Dense oracle inputs indexed by SNP id: genotype rows, weights, and
+    /// sets sorted by id — the layout under which the sequential oracles
+    /// share the grid's summation order exactly.
+    fn dense_oracle_inputs(ds: &GwasDataset, n: usize) -> (Vec<Vec<u8>>, Vec<f64>, Vec<SnpSet>) {
+        let max_snp = ds.sets.iter().flat_map(|s| s.members.iter()).max().unwrap() + 1;
+        let mut rows = vec![vec![0u8; n]; max_snp];
+        for r in &ds.genotypes {
+            if (r.id as usize) < max_snp {
+                rows[r.id as usize] = r.dosages.clone();
+            }
+        }
+        let mut weights = vec![0.0f64; max_snp];
+        for (j, &w) in ds.weights.iter().enumerate() {
+            if j < max_snp {
+                weights[j] = w;
+            }
+        }
+        let mut sets = ds.sets.clone();
+        sets.sort_by_key(|s| s.id);
+        (rows, weights, sets)
+    }
+
+    #[test]
+    fn grid_fixed_b_is_bitwise_identical_to_blocked_oracle() {
+        // Cox phenotype: both the grid's U pass and the oracle run the
+        // byte kernel, so every float must match exactly — observed
+        // statistics and exceedance counts alike — at the default tile
+        // and at a width that doesn't divide B.
+        let ctx = small_context();
+        let ds = GwasDataset::generate(&SyntheticConfig::small(17));
+        let (rows, weights, sets) = dense_oracle_inputs(&ds, ctx.num_patients());
+        let u = ctx.u_dataset();
+        u.cache();
+        for (b, tile) in [(64usize, MC_TILE), (50, 7)] {
+            let opts = McGridOptions {
+                num_replicates: b,
+                seed: 9,
+                tile,
+                stopping: None,
+                set_filter: None,
+            };
+            let run = ctx.monte_carlo_grid(&u, &opts);
+            let oracle = monte_carlo_blocked(ctx.model(), &rows, &weights, &sets, b, 9, tile);
+            let grid_observed: Vec<f64> = run.observed.iter().map(|s| s.score).collect();
+            assert_eq!(grid_observed, oracle.observed, "tile={tile}");
+            assert_eq!(run.counts_ge, oracle.counts_ge, "tile={tile}");
+            assert_eq!(run.replicates_used, vec![b; sets.len()]);
+            assert_eq!(run.replicates_saved, 0, "fixed-B skips nothing");
+            assert_eq!(run.tiles, b.div_ceil(tile));
+        }
+        u.unpersist();
+    }
+
+    #[test]
+    fn grid_adaptive_matches_sequential_adaptive_oracle() {
+        let ctx = small_context();
+        let ds = GwasDataset::generate(&SyntheticConfig::small(17));
+        let (rows, weights, sets) = dense_oracle_inputs(&ds, ctx.num_patients());
+        let rule = StoppingRule::new(20, 0.2, 0.05);
+        let opts = McGridOptions {
+            num_replicates: 200,
+            seed: 3,
+            tile: 16,
+            stopping: Some(rule),
+            set_filter: None,
+        };
+        let u = ctx.u_dataset();
+        u.cache();
+        let run = ctx.monte_carlo_grid(&u, &opts);
+        u.unpersist();
+        let oracle = monte_carlo_adaptive(ctx.model(), &rows, &weights, &sets, 200, 3, 16, &rule);
+        let grid_observed: Vec<f64> = run.observed.iter().map(|s| s.score).collect();
+        assert_eq!(grid_observed, oracle.observed);
+        assert_eq!(run.counts_ge, oracle.counts_ge);
+        assert_eq!(run.replicates_used, oracle.replicates_used);
+        assert_eq!(run.replicates_run, oracle.replicates_run);
+        assert_eq!(run.replicates_saved, oracle.replicates_saved);
+    }
+
+    #[test]
+    fn grid_set_filter_reproduces_the_full_runs_entry() {
+        let ctx = small_context();
+        let u = ctx.u_dataset();
+        u.cache();
+        let full = ctx.monte_carlo_grid(&u, &McGridOptions::fixed(40, 13));
+        let target = full.observed[3].set;
+        let one = ctx.monte_carlo_grid(
+            &u,
+            &McGridOptions {
+                set_filter: Some(vec![target]),
+                ..McGridOptions::fixed(40, 13)
+            },
+        );
+        u.unpersist();
+        assert_eq!(one.observed.len(), 1);
+        assert_eq!(one.observed[0], full.observed[3]);
+        assert_eq!(one.counts_ge[0], full.counts_ge[3]);
+    }
+
+    #[test]
+    fn repeated_grid_runs_reuse_broadcast_tiles() {
+        let ctx = small_context();
+        let u = ctx.u_dataset();
+        u.cache();
+        let opts = McGridOptions::fixed(48, 21);
+        let a = ctx.monte_carlo_grid(&u, &opts);
+        let (h0, m0) = ctx.mc_tile_cache_stats();
+        assert_eq!(m0, 2, "48 replicates at tile 32 broadcast two tiles");
+        let b = ctx.monte_carlo_grid(&u, &opts);
+        let (h1, m1) = ctx.mc_tile_cache_stats();
+        u.unpersist();
+        assert_eq!(a.counts_ge, b.counts_ge);
+        assert_eq!(m1, m0, "a same-seed replay must not re-broadcast");
+        assert_eq!(h1, h0 + 2);
+    }
+
+    #[test]
+    fn grid_reports_replicate_counters_through_stage_summaries() {
+        let (ctx, listener) =
+            context_with_listener(|ds| Phenotype::Survival(ds.phenotypes.clone()));
+        let rule = StoppingRule::new(20, 0.2, 0.05);
+        let run = ctx.monte_carlo_distributed(&McGridOptions::adaptive(200, 3, rule));
+        let (task_run, task_saved) = listener
+            .summaries()
+            .iter()
+            .fold((0u64, 0u64), |(r, s), sum| {
+                (r + sum.replicates_run, s + sum.replicates_saved)
+            });
+        assert_eq!(
+            task_run, run.replicates_run,
+            "driver total must equal the task-level sum"
+        );
+        assert!(run.replicates_run > 0);
+        // Task-level saved counts only in-tile skips; the driver total
+        // additionally credits tiles never launched.
+        assert!(run.replicates_saved >= task_saved);
     }
 
     #[test]

@@ -33,7 +33,9 @@ pub mod model;
 pub mod result;
 pub mod service;
 
-pub use analysis::{AnalysisOptions, CombineMethod, SparkScoreContext, WeightsStrategy};
+pub use analysis::{
+    AnalysisOptions, CombineMethod, McGridOptions, SparkScoreContext, WeightsStrategy,
+};
 pub use model::{Model, Phenotype};
-pub use result::{ObservedResult, ResamplingRun, SetScore, SnpQc, SnpResult};
+pub use result::{McGridRun, ObservedResult, ResamplingRun, SetScore, SnpQc, SnpResult};
 pub use service::{AnalysisService, QueryError, QueryResult};

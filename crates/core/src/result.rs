@@ -70,6 +70,49 @@ pub struct ResamplingRun {
     pub metrics: MetricsSnapshot,
 }
 
+/// Result of a distributed-GEMM resampling run (Algorithm 3 over the
+/// replicate-tile × partition grid), optionally with adaptive early
+/// stopping.
+#[derive(Debug, Clone)]
+pub struct McGridRun {
+    /// Observed statistics `S_k⁰`, sorted by set id.
+    pub observed: Vec<SetScore>,
+    /// `counter_k`: replicates with `S̃_k ≥ S_k⁰`, aligned with `observed`.
+    pub counts_ge: Vec<usize>,
+    /// Replicates actually compared per set (equals `max_replicates`
+    /// everywhere on the fixed-B path), aligned with `observed`.
+    pub replicates_used: Vec<usize>,
+    /// Replicate budget `B`.
+    pub max_replicates: usize,
+    /// Row-replicate units (one SNP row × one replicate) computed by grid
+    /// tasks.
+    pub replicates_run: u64,
+    /// Row-replicate units the stopping rule avoided, measured against the
+    /// `scope_rows × B` potential (covers both in-tile skips and tiles
+    /// never launched).
+    pub replicates_saved: u64,
+    /// Replicate tiles executed.
+    pub tiles: usize,
+    /// Real elapsed time, including the observed pass.
+    pub wall: Duration,
+    /// Virtual cluster seconds, including the observed pass.
+    pub virtual_secs: f64,
+    /// Engine metric deltas across the whole run.
+    pub metrics: MetricsSnapshot,
+}
+
+impl McGridRun {
+    /// Add-one empirical p-values aligned with `observed`, each over the
+    /// replicates its set actually saw.
+    pub fn pvalues(&self) -> Vec<f64> {
+        self.counts_ge
+            .iter()
+            .zip(&self.replicates_used)
+            .map(|(&c, &b)| empirical_pvalue(c, b))
+            .collect()
+    }
+}
+
 impl ResamplingRun {
     /// Add-one empirical p-values aligned with `observed`.
     pub fn pvalues(&self) -> Vec<f64> {

@@ -17,12 +17,10 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use sparkscore_rdd::{Dataset, JobService, RejectReason};
-use sparkscore_stats::resample::mc_weights;
+use sparkscore_stats::pvalue::StoppingRule;
 
-use crate::analysis::SparkScoreContext;
+use crate::analysis::{McGridOptions, SparkScoreContext};
 
 /// One registered cohort: the analysis context plus the single shared
 /// (cached) `U` dataset every query job reuses.
@@ -156,8 +154,11 @@ impl AnalysisService {
         })
     }
 
-    /// Submit a Monte-Carlo query (Algorithm 3 for a single set):
-    /// `replicates` multiplier draws over the cohort's shared cached `U`.
+    /// Submit a Monte-Carlo query (Algorithm 3 for a single set), run as
+    /// a distributed GEMM over the cohort's shared cached `U`: the set's
+    /// member rows are perturbed tile-by-tile and the multiplier tiles
+    /// are memoized, so same-seed queries across tenants re-broadcast
+    /// nothing.
     pub fn submit_mc_query(
         &self,
         tenant: &str,
@@ -166,32 +167,54 @@ impl AnalysisService {
         replicates: usize,
         seed: u64,
     ) -> Result<u64, QueryError> {
+        let opts = McGridOptions {
+            set_filter: Some(vec![set]),
+            ..McGridOptions::fixed(replicates, seed)
+        };
+        self.submit_grid_query(tenant, cohort, set, opts)
+    }
+
+    /// Submit an adaptive Monte-Carlo query: tile rounds of multiplier
+    /// replicates until `rule` decides the set's p-value (or the
+    /// `max_replicates` budget runs out). The result's resample pair is
+    /// `(count ≥ observed, replicates actually consumed)` — a bitwise
+    /// prefix of the fixed-B stream at the same seed.
+    pub fn submit_adaptive_mc_query(
+        &self,
+        tenant: &str,
+        cohort: &str,
+        set: u64,
+        max_replicates: usize,
+        seed: u64,
+        rule: StoppingRule,
+    ) -> Result<u64, QueryError> {
+        let opts = McGridOptions {
+            set_filter: Some(vec![set]),
+            ..McGridOptions::adaptive(max_replicates, seed, rule)
+        };
+        self.submit_grid_query(tenant, cohort, set, opts)
+    }
+
+    fn submit_grid_query(
+        &self,
+        tenant: &str,
+        cohort: &str,
+        set: u64,
+        opts: McGridOptions,
+    ) -> Result<u64, QueryError> {
         let cohort = self.cohort(cohort)?;
         let tenant_name = tenant.to_string();
         self.submit(tenant, move |slot| {
-            let observed = observed_set_score(&cohort, set)?;
-            let n = cohort.ctx.num_patients();
-            let engine = Arc::clone(cohort.ctx.engine());
-            let mut rng = StdRng::seed_from_u64(seed);
-            let mut count_ge = 0usize;
-            for _ in 0..replicates {
-                let z = engine.broadcast(mc_weights(&mut rng, n));
-                let rep = cohort.ctx.set_scores(&cohort.u, Some(z));
-                let rep_score = rep
-                    .iter()
-                    .find(|s| s.set == set)
-                    .map(|s| s.score)
-                    .unwrap_or(0.0);
-                if rep_score >= observed {
-                    count_ge += 1;
-                }
+            if cohort.ctx.set_ids().binary_search(&set).is_err() {
+                return Err(format!("set {set} not in cohort {:?}", cohort.name));
             }
+            let run = cohort.ctx.monte_carlo_grid(&cohort.u, &opts);
             *slot.lock() = Some(QueryResult {
                 tenant: tenant_name,
                 cohort: cohort.name.clone(),
                 set,
-                score: observed,
-                resample: Some((count_ge, replicates)),
+                score: run.observed[0].score,
+                resample: Some((run.counts_ge[0], run.replicates_used[0])),
             });
             Ok(())
         })
@@ -316,5 +339,28 @@ mod tests {
         let (count, reps) = ra.resample.unwrap();
         assert_eq!(reps, 10);
         assert!(count <= reps);
+    }
+
+    #[test]
+    fn adaptive_mc_query_stops_early_on_a_bitwise_prefix() {
+        let (svc, _) = small_service();
+        // half_width 0.2 is satisfied at the first 32-replicate tile, so
+        // the query must stop far below the 400-replicate budget.
+        let rule = StoppingRule::new(16, 0.2, 0.2);
+        let job = svc
+            .submit_adaptive_mc_query("a", "main", 2, 400, 7, rule)
+            .unwrap();
+        let r = svc.wait_result(job).unwrap();
+        let (count, used) = r.resample.unwrap();
+        assert!(used < 400, "rule must stop before the budget (used {used})");
+        assert!(used >= 16 && count <= used);
+        // The adaptive count is the fixed-B count truncated at `used`:
+        // same seed, same tiles, only fewer of them.
+        let fixed = svc.submit_mc_query("b", "main", 2, used, 7).unwrap();
+        let rf = svc.wait_result(fixed).unwrap();
+        assert_eq!(rf.resample, Some((count, used)));
+        assert_eq!(rf.score, r.score);
+        svc.job_service()
+            .shutdown(sparkscore_rdd::ShutdownMode::Drain);
     }
 }

@@ -171,6 +171,14 @@ pub fn report(trace: &ExecutionTrace) -> String {
         percent(kernel_wall, total_wall),
         fmt_ns(total_wall),
     ));
+    let rep_run = trace.total_replicates_run();
+    let rep_saved = trace.total_replicates_saved();
+    if rep_run > 0 || rep_saved > 0 {
+        out.push_str(&format!(
+            "resampling row-replicates run={rep_run} saved={rep_saved} ({} of potential skipped)\n",
+            percent(rep_saved, rep_run + rep_saved),
+        ));
+    }
 
     out.push_str("\n== spans ==\n");
     let spans = trace.span_totals();
@@ -281,6 +289,8 @@ pub fn report_json(trace: &ExecutionTrace) -> serde_json::Value {
         "kernel_rows": trace.total_kernel_rows(),
         "packed_kernel_rows": trace.total_packed_kernel_rows(),
         "scratch_reuses": trace.total_scratch_reuses(),
+        "replicates_run": trace.total_replicates_run(),
+        "replicates_saved": trace.total_replicates_saved(),
         "kernel_task_wall_ns": kernel_wall,
         "total_task_wall_ns": total_wall,
     });
@@ -421,6 +431,10 @@ mod tests {
             a.contains("kernel rows=2000 (packed=1200 unpacked=800) scratch reuses=4"),
             "{a}"
         );
+        assert!(
+            a.contains("resampling row-replicates run=100 saved=20"),
+            "{a}"
+        );
         assert!(a.contains("== spans =="), "{a}");
         assert!(a.contains("kernel:contributions"), "{a}");
         assert!(
@@ -475,6 +489,8 @@ mod tests {
             at(&v, &["kernels", "packed_kernel_rows"]).as_u64(),
             Some(1_200)
         );
+        assert_eq!(at(&v, &["kernels", "replicates_run"]).as_u64(), Some(100));
+        assert_eq!(at(&v, &["kernels", "replicates_saved"]).as_u64(), Some(20));
         let spans = at(&v, &["spans"]).as_array().expect("spans array");
         assert!(!spans.is_empty());
         assert_eq!(

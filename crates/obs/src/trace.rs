@@ -112,6 +112,16 @@ impl TraceStage {
         self.tasks.iter().map(|t| t.scratch_reuses).sum()
     }
 
+    /// Resampling row-replicate units computed by the distributed GEMM.
+    pub fn replicates_run(&self) -> u64 {
+        self.tasks.iter().map(|t| t.replicates_run).sum()
+    }
+
+    /// Row-replicate units adaptive early stopping skipped in-task.
+    pub fn replicates_saved(&self) -> u64 {
+        self.tasks.iter().map(|t| t.replicates_saved).sum()
+    }
+
     /// Measured host wall time summed over this stage's tasks.
     pub fn total_wall_ns(&self) -> u64 {
         self.tasks.iter().map(|t| t.wall_ns).sum()
@@ -409,6 +419,16 @@ impl ExecutionTrace {
         self.stages.iter().map(TraceStage::scratch_reuses).sum()
     }
 
+    /// Resampling row-replicate units computed across all stages.
+    pub fn total_replicates_run(&self) -> u64 {
+        self.stages.iter().map(TraceStage::replicates_run).sum()
+    }
+
+    /// Row-replicate units adaptive early stopping skipped in-task.
+    pub fn total_replicates_saved(&self) -> u64 {
+        self.stages.iter().map(TraceStage::replicates_saved).sum()
+    }
+
     /// Host wall time of tasks that reported kernel work vs all tasks —
     /// the kernel-vs-engine attribution `trace report` prints.
     pub fn kernel_wall_split_ns(&self) -> (u64, u64) {
@@ -516,6 +536,8 @@ mod tests {
                     kernel_rows: 1_200,
                     packed_kernel_rows: 1_200,
                     scratch_reuses: 3,
+                    replicates_run: 64,
+                    replicates_saved: 16,
                     ..task(0, 4_000, 0, 2)
                 },
             },
@@ -524,6 +546,8 @@ mod tests {
                 metrics: TaskMetrics {
                     kernel_rows: 800,
                     scratch_reuses: 1,
+                    replicates_run: 36,
+                    replicates_saved: 4,
                     ..task(1, 9_000, 0, 2)
                 },
             },
@@ -735,6 +759,10 @@ mod tests {
         assert_eq!(s0.scratch_reuses(), 4);
         assert_eq!(trace.total_kernel_rows(), 2_000);
         assert_eq!(trace.total_packed_kernel_rows(), 1_200);
+        assert_eq!(s0.replicates_run(), 100);
+        assert_eq!(s0.replicates_saved(), 20);
+        assert_eq!(trace.total_replicates_run(), 100);
+        assert_eq!(trace.total_replicates_saved(), 20);
         // Only stage 0's tasks reported kernel work: 2000 + 4500 wall ns.
         assert_eq!(trace.kernel_wall_split_ns().0, 6_500);
         // The internal stage belongs to no job.

@@ -42,6 +42,8 @@ pub struct TaskCtx<'a> {
     kernel_rows: Cell<u64>,
     packed_kernel_rows: Cell<u64>,
     scratch_reuses: Cell<u64>,
+    replicates_run: Cell<u64>,
+    replicates_saved: Cell<u64>,
     preferred: RefCell<Vec<NodeId>>,
     spans: RefCell<Vec<SpanRecord>>,
 }
@@ -69,6 +71,8 @@ impl<'a> TaskCtx<'a> {
             kernel_rows: Cell::new(0),
             packed_kernel_rows: Cell::new(0),
             scratch_reuses: Cell::new(0),
+            replicates_run: Cell::new(0),
+            replicates_saved: Cell::new(0),
             preferred: RefCell::new(Vec::new()),
             spans: RefCell::new(Vec::new()),
         }
@@ -190,6 +194,21 @@ impl<'a> TaskCtx<'a> {
         self.scratch_reuses.set(self.scratch_reuses.get() + n);
     }
 
+    /// Record `n` resampling row-replicate units computed (one SNP row
+    /// perturbed for one replicate in the distributed GEMM).
+    #[inline]
+    pub fn add_replicates_run(&self, n: u64) {
+        self.replicates_run.set(self.replicates_run.get() + n);
+    }
+
+    /// Record `n` resampling row-replicate units *skipped* inside an
+    /// executed tile because the owning gene set's sequential stopping
+    /// rule had already decided — the observable early-stop saving.
+    #[inline]
+    pub fn add_replicates_saved(&self, n: u64) {
+        self.replicates_saved.set(self.replicates_saved.get() + n);
+    }
+
     /// Declare that running on `node` would make this task's reads local
     /// (input block replica or cached block location).
     pub fn add_preferred(&self, node: NodeId) {
@@ -243,6 +262,14 @@ impl<'a> TaskCtx<'a> {
 
     pub fn scratch_reuses(&self) -> u64 {
         self.scratch_reuses.get()
+    }
+
+    pub fn replicates_run(&self) -> u64 {
+        self.replicates_run.get()
+    }
+
+    pub fn replicates_saved(&self) -> u64 {
+        self.replicates_saved.get()
     }
 
     /// Measured host execution time so far, nanoseconds.

@@ -390,6 +390,27 @@ impl<T: Data> Dataset<T> {
             })
     }
 
+    /// One grid row of a distributed GEMM: run `kernel` once per partition
+    /// of this dataset as engine tasks, handing each the task context (for
+    /// work counters and sub-task spans), the partition index, and the
+    /// materialized records. Cached datasets serve the records from the
+    /// block cache, so repeated grid rows (one per broadcast operand tile)
+    /// re-stream resident partitions instead of recomputing lineage.
+    /// Results come back in partition order — a deterministic, shuffle-free
+    /// gather the driver can fold without reassociating task-local
+    /// arithmetic.
+    pub fn grid_cells<R: Send>(
+        &self,
+        kernel: impl Fn(&crate::TaskCtx<'_>, usize, &[T]) -> R + Sync,
+    ) -> Vec<R> {
+        let op = Arc::clone(&self.op);
+        self.engine
+            .run_job(op.id(), op.num_partitions(), move |part, ctx| {
+                let data = materialize(&op, part, ctx);
+                kernel(ctx, part, &data)
+            })
+    }
+
     /// Gather every record to the driver, in partition order.
     pub fn collect(&self) -> Vec<T> {
         let parts = self.run_partitions(|p| p);

@@ -511,6 +511,8 @@ impl Engine {
                     kernel_rows: ctx.kernel_rows(),
                     packed_kernel_rows: ctx.packed_kernel_rows(),
                     scratch_reuses: ctx.scratch_reuses(),
+                    replicates_run: ctx.replicates_run(),
+                    replicates_saved: ctx.replicates_saved(),
                     span: task_span,
                     mono_start_ns: mono_start,
                     mono_end_ns: self.mono_ns(),

@@ -139,6 +139,12 @@ pub struct TaskMetrics {
     /// Kernel calls served from a pre-existing thread-local scratch
     /// buffer (no allocator traffic).
     pub scratch_reuses: u64,
+    /// Resampling row-replicate units computed by this task (one SNP row
+    /// perturbed for one replicate in the distributed GEMM).
+    pub replicates_run: u64,
+    /// Resampling row-replicate units skipped inside this task's tile
+    /// because the owning gene set's stopping rule had already decided.
+    pub replicates_saved: u64,
     /// Causal identity: the task's span id and its parent stage span.
     pub span: SpanContext,
     /// Monotonic engine time when the task body started (0 if untraced).
@@ -357,6 +363,8 @@ impl TaskMetrics {
             "kernel_rows": self.kernel_rows,
             "packed_kernel_rows": self.packed_kernel_rows,
             "scratch_reuses": self.scratch_reuses,
+            "replicates_run": self.replicates_run,
+            "replicates_saved": self.replicates_saved,
             "span": self.span.span,
             "parent_span": self.span.parent,
             "mono_start_ns": self.mono_start_ns,
@@ -385,6 +393,9 @@ impl TaskMetrics {
             kernel_rows: get_u64_or(v, "kernel_rows", 0)?,
             packed_kernel_rows: get_u64_or(v, "packed_kernel_rows", 0)?,
             scratch_reuses: get_u64_or(v, "scratch_reuses", 0)?,
+            // Absent in event logs written before distributed resampling.
+            replicates_run: get_u64_or(v, "replicates_run", 0)?,
+            replicates_saved: get_u64_or(v, "replicates_saved", 0)?,
             // Absent in event logs written before span tracing.
             span: span_from_json(v)?,
             mono_start_ns: get_u64_or(v, "mono_start_ns", 0)?,
@@ -931,6 +942,8 @@ pub struct StageSummary {
     pub kernel_rows: u64,
     pub packed_kernel_rows: u64,
     pub scratch_reuses: u64,
+    pub replicates_run: u64,
+    pub replicates_saved: u64,
     pub makespan_ns: u64,
     pub local_reads: usize,
 }
@@ -1023,6 +1036,8 @@ impl StageSummaryListener {
                 s.kernel_rows += metrics.kernel_rows;
                 s.packed_kernel_rows += metrics.packed_kernel_rows;
                 s.scratch_reuses += metrics.scratch_reuses;
+                s.replicates_run += metrics.replicates_run;
+                s.replicates_saved += metrics.replicates_saved;
             }),
             EngineEvent::StageCompleted {
                 stage,
@@ -1226,6 +1241,8 @@ pub struct RegistryListener {
     kernel_rows: Arc<Counter>,
     packed_kernel_rows: Arc<Counter>,
     scratch_reuses: Arc<Counter>,
+    replicates_run: Arc<Counter>,
+    replicates_saved: Arc<Counter>,
     shuffle_map_reruns: Arc<Counter>,
     faults_injected: Arc<Counter>,
     running_jobs: Arc<Gauge>,
@@ -1302,6 +1319,14 @@ impl RegistryListener {
                 "sparkscore_scratch_reuses_total",
                 "Kernel calls served from a reused thread-local scratch buffer",
             ),
+            replicates_run: c(
+                "sparkscore_replicates_run_total",
+                "Resampling row-replicate units computed by the distributed GEMM",
+            ),
+            replicates_saved: c(
+                "sparkscore_replicates_saved_total",
+                "Resampling row-replicate units skipped by adaptive early stopping",
+            ),
             shuffle_map_reruns: c(
                 "sparkscore_shuffle_map_reruns_total",
                 "Lost shuffle map outputs re-run from lineage",
@@ -1377,6 +1402,8 @@ impl EventListener for RegistryListener {
                 self.kernel_rows.add(metrics.kernel_rows);
                 self.packed_kernel_rows.add(metrics.packed_kernel_rows);
                 self.scratch_reuses.add(metrics.scratch_reuses);
+                self.replicates_run.add(metrics.replicates_run);
+                self.replicates_saved.add(metrics.replicates_saved);
                 self.task_virtual_ns.observe(metrics.virtual_runtime_ns());
                 self.task_wall_ns.observe(metrics.wall_ns);
             }
@@ -1443,6 +1470,8 @@ mod tests {
                     kernel_rows: 640,
                     packed_kernel_rows: 320,
                     scratch_reuses: 5,
+                    replicates_run: 96,
+                    replicates_saved: 32,
                     span: SpanContext { span: 3, parent: 2 },
                     mono_start_ns: 30,
                     mono_end_ns: 1_030,

@@ -45,6 +45,7 @@ pub mod dataset;
 pub mod engine;
 pub mod estimate;
 pub mod events;
+pub mod gemm;
 pub mod ledger;
 pub mod meta;
 pub mod metrics;
@@ -64,6 +65,7 @@ pub use events::{
     MemoryEventListener, RegistryListener, SpanContext, StageKind, StageSummaryListener,
     TaskMetrics,
 };
+pub use gemm::{plan_tiles, BroadcastTileCache, ReplicateTile};
 pub use ledger::{MemCategory, MemReading, MemoryLedger};
 pub use metrics::{Counter, Gauge, Histogram, MetricsSnapshot, Registry};
 pub use ops::shuffled::Aggregator;

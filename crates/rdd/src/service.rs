@@ -32,6 +32,7 @@ use std::collections::{BTreeMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use crate::engine::Engine;
 use crate::metrics::{Counter, Gauge, Registry};
@@ -94,8 +95,8 @@ impl std::fmt::Display for RejectReason {
     }
 }
 
-/// Lifecycle of one service job. `Completed`, `Failed`, and `Cancelled`
-/// are terminal.
+/// Lifecycle of one service job. `Completed`, `Failed`, `Cancelled`, and
+/// `TimedOut` are terminal.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JobState {
     Queued,
@@ -103,13 +104,17 @@ pub enum JobState {
     Completed,
     Failed,
     Cancelled,
+    /// Expired at its wall-clock queue deadline before a worker picked it
+    /// (see [`JobService::submit_with_deadline`]). Running jobs are never
+    /// killed — a deadline bounds time *to dispatch*, not execution.
+    TimedOut,
 }
 
 impl JobState {
     pub fn is_terminal(self) -> bool {
         matches!(
             self,
-            JobState::Completed | JobState::Failed | JobState::Cancelled
+            JobState::Completed | JobState::Failed | JobState::Cancelled | JobState::TimedOut
         )
     }
 
@@ -120,6 +125,7 @@ impl JobState {
             JobState::Completed => "completed",
             JobState::Failed => "failed",
             JobState::Cancelled => "cancelled",
+            JobState::TimedOut => "timed_out",
         }
     }
 }
@@ -456,6 +462,7 @@ struct ServiceMetrics {
     completed: Arc<Counter>,
     failed: Arc<Counter>,
     cancelled: Arc<Counter>,
+    timed_out: Arc<Counter>,
     queue_depth: Arc<Gauge>,
     running_jobs: Arc<Gauge>,
 }
@@ -489,6 +496,10 @@ impl ServiceMetrics {
                 "sparkscore_service_cancelled_total",
                 "Queued service jobs cancelled before dispatch",
             ),
+            timed_out: registry.counter(
+                "sparkscore_service_timed_out_total",
+                "Queued service jobs expired at their wall-clock deadline",
+            ),
             queue_depth: registry.gauge(
                 "sparkscore_service_queue_depth",
                 "Jobs currently queued service-wide",
@@ -510,6 +521,9 @@ struct ServiceState {
     queue: AdmissionQueue,
     jobs: BTreeMap<u64, JobRecord>,
     payloads: BTreeMap<u64, Payload>,
+    /// Wall-clock dispatch deadlines of still-queued jobs; a worker
+    /// expires entries whose instant has passed before its next pick.
+    deadlines: BTreeMap<u64, Instant>,
     paused: bool,
     shutdown: Option<ShutdownMode>,
     /// Ids of dispatched jobs in the order they reached a terminal
@@ -619,6 +633,7 @@ impl JobServiceBuilder {
                 queue,
                 jobs: BTreeMap::new(),
                 payloads: BTreeMap::new(),
+                deadlines: BTreeMap::new(),
                 paused: self.start_paused,
                 shutdown: None,
                 completion_order: Vec::new(),
@@ -651,11 +666,60 @@ pub struct JobService {
     workers: Mutex<Option<Vec<JoinHandle<()>>>>,
 }
 
+/// Expire still-queued jobs whose wall-clock deadline has passed:
+/// admission-queue bookkeeping via `cancel` (conservation holds), a
+/// typed [`JobState::TimedOut`] terminal record, and the service metric.
+/// Returns whether anything expired (waiters need a `done` signal).
+fn expire_deadlines(shared: &Shared, st: &mut ServiceState) -> bool {
+    let now = Instant::now();
+    let expired: Vec<u64> = st
+        .deadlines
+        .iter()
+        .filter(|(_, &d)| d <= now)
+        .map(|(&j, _)| j)
+        .collect();
+    let mut any = false;
+    for job in expired {
+        st.deadlines.remove(&job);
+        let Some(tenant) = st
+            .jobs
+            .get(&job)
+            .filter(|r| r.state == JobState::Queued)
+            .map(|r| r.tenant.clone())
+        else {
+            continue;
+        };
+        if st.queue.cancel(&tenant, job) {
+            st.payloads.remove(&job);
+            st.finish_job(
+                job,
+                JobState::TimedOut,
+                Some("queue deadline exceeded".to_string()),
+            );
+            if let Some(m) = &shared.metrics {
+                m.timed_out.inc();
+            }
+            any = true;
+        }
+    }
+    if any {
+        if let Some(m) = &shared.metrics {
+            m.sync(&st.queue);
+        }
+    }
+    any
+}
+
 fn worker_loop(shared: &Shared) {
     loop {
         let (tenant, job, payload) = {
             let mut st = shared.state.lock().expect("service lock");
             loop {
+                // Deadlines expire on wall time regardless of pause or
+                // drain state — a paused service still times jobs out.
+                if expire_deadlines(shared, &mut st) {
+                    shared.done.notify_all();
+                }
                 if let Some(mode) = st.shutdown {
                     let done = match mode {
                         ShutdownMode::Abort => true,
@@ -668,6 +732,7 @@ fn worker_loop(shared: &Shared) {
                 }
                 if !st.paused {
                     if let Some((tenant, job)) = st.queue.pick() {
+                        st.deadlines.remove(&job);
                         let payload = st.payloads.remove(&job).expect("picked job has a payload");
                         if let Some(rec) = st.jobs.get_mut(&job) {
                             rec.state = JobState::Running;
@@ -678,7 +743,19 @@ fn worker_loop(shared: &Shared) {
                         break (tenant, job, payload);
                     }
                 }
-                st = shared.work.wait(st).expect("service lock");
+                // Sleep until woken — or until the earliest pending
+                // deadline, so expiry needs no external nudge.
+                match st.deadlines.values().min().copied() {
+                    Some(earliest) => {
+                        let timeout = earliest.saturating_duration_since(Instant::now());
+                        let (guard, _) = shared
+                            .work
+                            .wait_timeout(st, timeout.max(Duration::from_micros(50)))
+                            .expect("service lock");
+                        st = guard;
+                    }
+                    None => st = shared.work.wait(st).expect("service lock"),
+                }
             }
         };
         // Tag the thread so every engine event this job emits (the event
@@ -749,6 +826,30 @@ impl JobService {
         tenant: &str,
         payload: impl FnOnce(&Arc<Engine>) -> JobResult + Send + 'static,
     ) -> Result<u64, RejectReason> {
+        self.submit_inner(tenant, None, Box::new(payload))
+    }
+
+    /// Submit one job that must be *dispatched* within `deadline` of
+    /// submission: if no worker picks it up in time (backlog, pause, or
+    /// drain), it expires into the terminal [`JobState::TimedOut`] instead
+    /// of running stale. A job already running when the instant passes is
+    /// unaffected — deadlines bound queue latency, not execution time.
+    pub fn submit_with_deadline(
+        &self,
+        tenant: &str,
+        deadline: Duration,
+        payload: impl FnOnce(&Arc<Engine>) -> JobResult + Send + 'static,
+    ) -> Result<u64, RejectReason> {
+        self.submit_inner(tenant, Some(deadline), Box::new(payload))
+    }
+
+    fn submit_inner(
+        &self,
+        tenant: &str,
+        deadline: Option<Duration>,
+        payload: Payload,
+    ) -> Result<u64, RejectReason> {
+        let deadline = deadline.map(|d| Instant::now() + d);
         let mut st = self.shared.state.lock().expect("service lock");
         if st.shutdown.is_some() {
             if let Some(m) = &self.shared.metrics {
@@ -767,7 +868,10 @@ impl JobService {
                         error: None,
                     },
                 );
-                st.payloads.insert(*job, Box::new(payload));
+                st.payloads.insert(*job, payload);
+                if let Some(d) = deadline {
+                    st.deadlines.insert(*job, d);
+                }
                 if let Some(m) = &self.shared.metrics {
                     m.submitted.inc();
                     m.sync(&st.queue);
@@ -799,6 +903,7 @@ impl JobService {
             return false;
         }
         st.payloads.remove(&job);
+        st.deadlines.remove(&job);
         st.finish_job(job, JobState::Cancelled, None);
         if let Some(m) = &self.shared.metrics {
             m.cancelled.inc();
@@ -862,6 +967,7 @@ impl JobService {
                 for (tenant, job) in queued {
                     if st.queue.cancel(&tenant, job) {
                         st.payloads.remove(&job);
+                        st.deadlines.remove(&job);
                         st.finish_job(job, JobState::Cancelled, None);
                         if let Some(m) = &self.shared.metrics {
                             m.cancelled.inc();

@@ -270,6 +270,30 @@ fn stage_summary_totals_match_engine_metrics() {
     assert!(report.contains("Result"), "{report}");
 }
 
+#[test]
+fn grid_cells_threads_replicate_counters_into_stage_summaries() {
+    let summary = Arc::new(StageSummaryListener::new());
+    let engine = Engine::builder(ClusterSpec::test_small(2))
+        .host_threads(2)
+        .listener(Arc::clone(&summary) as Arc<dyn EventListener>)
+        .build();
+    let data = engine.parallelize((0u64..40).collect::<Vec<_>>(), 4);
+    let cells = data.grid_cells(|ctx, part, rows| {
+        ctx.add_replicates_run(rows.len() as u64 * 3);
+        ctx.add_replicates_saved(rows.len() as u64);
+        (part, rows.iter().sum::<u64>())
+    });
+    // Cells arrive in partition order.
+    assert_eq!(
+        cells.iter().map(|c| c.0).collect::<Vec<_>>(),
+        vec![0, 1, 2, 3]
+    );
+    assert_eq!(cells.iter().map(|c| c.1).sum::<u64>(), (0u64..40).sum());
+    let stages = summary.summaries();
+    assert_eq!(stages.iter().map(|s| s.replicates_run).sum::<u64>(), 120);
+    assert_eq!(stages.iter().map(|s| s.replicates_saved).sum::<u64>(), 40);
+}
+
 /// One instance of every `EngineEvent` variant (and every `FaultDetail`
 /// kind), with field values chosen to stress integer width and optional
 /// fields.
@@ -357,6 +381,8 @@ fn every_event_variant() -> Vec<EngineEvent> {
                 kernel_rows: 10,
                 packed_kernel_rows: 6,
                 scratch_reuses: 11,
+                replicates_run: 12,
+                replicates_saved: 13,
                 span: SpanContext { span: 3, parent: 2 },
                 mono_start_ns: 19,
                 mono_end_ns: 20,

@@ -205,6 +205,105 @@ fn registry_exports_service_flow_counters() {
     service.shutdown(ShutdownMode::Drain);
 }
 
+#[test]
+fn zero_deadline_times_out_deterministically_while_paused() {
+    // Deterministic protocol: with dispatch paused, a zero deadline has
+    // already passed at submission, so the worker must expire the job —
+    // typed terminal state, no execution — while an undeadlined job from
+    // the same batch still runs to completion after resume.
+    let registry = Arc::new(Registry::new());
+    let service = JobService::builder(engine())
+        .workers(1)
+        .start_paused()
+        .tenant("a", quota(1))
+        .registry(Arc::clone(&registry))
+        .build();
+    let ran = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let ran_flag = Arc::clone(&ran);
+    let doomed = service
+        .submit_with_deadline("a", std::time::Duration::ZERO, move |_| {
+            ran_flag.store(true, std::sync::atomic::Ordering::SeqCst);
+            Ok(())
+        })
+        .unwrap();
+    let survivor = service.submit("a", |_| Ok(())).unwrap();
+    assert_eq!(service.wait(doomed), Some(JobState::TimedOut));
+    assert!(
+        !ran.load(std::sync::atomic::Ordering::SeqCst),
+        "a timed-out payload must never run"
+    );
+    assert_eq!(
+        service.job_error(doomed).as_deref(),
+        Some("queue deadline exceeded")
+    );
+    service.resume();
+    assert_eq!(service.wait(survivor), Some(JobState::Completed));
+    let stats = service.queue_status().stats;
+    assert_eq!(stats.cancelled, 1, "timeout uses cancel bookkeeping");
+    assert_eq!(stats.completed, 1);
+    let text = registry.render_prometheus();
+    assert!(
+        text.contains("sparkscore_service_timed_out_total 1"),
+        "{text}"
+    );
+    service.shutdown(ShutdownMode::Drain);
+}
+
+#[test]
+fn generous_deadline_does_not_time_out() {
+    let service = JobService::builder(engine())
+        .workers(1)
+        .tenant("a", quota(1))
+        .build();
+    let job = service
+        .submit_with_deadline("a", std::time::Duration::from_secs(300), |_| Ok(()))
+        .unwrap();
+    assert_eq!(service.wait(job), Some(JobState::Completed));
+    assert_eq!(service.queue_status().stats.cancelled, 0);
+    service.shutdown(ShutdownMode::Drain);
+}
+
+#[test]
+fn deadline_expires_while_blocked_behind_a_running_job() {
+    // max_running 1: a long job holds the tenant's running quota while a
+    // short-deadline job waits in the queue, never pickable. The idle
+    // worker must wake itself at the deadline (no external submit/resume
+    // nudge) and expire the queued job.
+    let service = JobService::builder(engine())
+        .workers(2)
+        .tenant("a", quota(1))
+        .build();
+    let gate = Arc::new((std::sync::Mutex::new(false), std::sync::Condvar::new()));
+    let gate_job = Arc::clone(&gate);
+    let blocker = service
+        .submit("a", move |_| {
+            let (lock, cv) = &*gate_job;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = cv.wait(open).unwrap();
+            }
+            Ok(())
+        })
+        .unwrap();
+    // Wait until the blocker is actually running so the deadline job is
+    // genuinely queued behind it.
+    while service.job_state(blocker) != Some(JobState::Running) {
+        std::thread::yield_now();
+    }
+    let doomed = service
+        .submit_with_deadline("a", std::time::Duration::from_millis(20), |_| Ok(()))
+        .unwrap();
+    assert_eq!(service.wait(doomed), Some(JobState::TimedOut));
+    assert_eq!(service.job_state(blocker), Some(JobState::Running));
+    {
+        let (lock, cv) = &*gate;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+    }
+    assert_eq!(service.wait(blocker), Some(JobState::Completed));
+    service.shutdown(ShutdownMode::Drain);
+}
+
 /// Seeded stress: three tenants race jobs that cache, re-read, and
 /// unpersist datasets against a deliberately tiny cache budget (constant
 /// admit/evict pressure), on three workers at once. Half the datasets

@@ -245,15 +245,34 @@ pub fn perturb_scores_blocked(
     out: &mut [f64],
 ) {
     assert_eq!(contribs.len(), num_snps * num_patients, "U dimensions");
+    let rows: Vec<&[f64]> = contribs.chunks_exact(num_patients).collect();
+    perturb_rows_blocked(&rows, num_patients, z_tile, k, out);
+}
+
+/// [`perturb_scores_blocked`] over a gather of independent `U` rows instead
+/// of one contiguous matrix — the shape each partition of the distributed
+/// resampling GEMM holds (`(snp, contribution-row)` records, so the rows a
+/// task sees are contiguous per SNP but scattered between SNPs). Same
+/// bitwise contract: each `(j, kk)` accumulator is one `acc += u·z` chain
+/// in patient order, so a grid of these cells reproduces the single-task
+/// kernel bit for bit.
+pub fn perturb_rows_blocked(
+    rows: &[&[f64]],
+    num_patients: usize,
+    z_tile: &[f64],
+    k: usize,
+    out: &mut [f64],
+) {
     assert_eq!(z_tile.len(), num_patients * k, "Z tile dimensions");
-    assert_eq!(out.len(), num_snps * k, "output dimensions");
+    assert_eq!(out.len(), rows.len() * k, "output dimensions");
+    for row in rows {
+        assert_eq!(row.len(), num_patients, "U row length");
+    }
     out.fill(0.0);
     let mut i0 = 0;
     while i0 < num_patients {
         let i1 = (i0 + PERTURB_I_TILE).min(num_patients);
-        for j in 0..num_snps {
-            let u_row = &contribs[j * num_patients..][..num_patients];
-            let acc = &mut out[j * k..][..k];
+        for (u_row, acc) in rows.iter().zip(out.chunks_exact_mut(k)) {
             for i in i0..i1 {
                 let ui = u_row[i];
                 let z_row = &z_tile[i * k..][..k];

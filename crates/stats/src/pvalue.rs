@@ -61,6 +61,71 @@ pub fn westfall_young_adjusted(observed: &[f64], replicates: &[Vec<f64>]) -> Vec
         .collect()
 }
 
+/// Sequential stopping rule for adaptive multiplier resampling.
+///
+/// After each round of replicates the rule looks at a set's running
+/// exceedance count and decides whether more replicates can still change
+/// the answer. A set stops as soon as either
+///
+/// * the normal-approximation confidence interval around the add-one
+///   p-value `p̂` **excludes the significance threshold** `alpha`
+///   (curtailed sampling: the significant/not-significant call is already
+///   settled at this confidence), or
+/// * the interval's half-width has shrunk to the requested precision
+///   `half_width` (fixed-width CI: `p̂` itself is pinned down).
+///
+/// `min_replicates` floors every decision so the asymptotic interval is
+/// not trusted on a handful of draws. The guarantee reported alongside an
+/// adaptive p-value is [`StoppingRule::ci_half_width`] at stop time: with
+/// confidence `~Φ(z)` the true resampling p-value lies within that band.
+/// The fixed-B path remains the statistical oracle; tests bound the
+/// adaptive-vs-oracle disagreement by the two runs' combined widths.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StoppingRule {
+    /// Replicates a set must accumulate before any stop decision.
+    pub min_replicates: usize,
+    /// Significance threshold the CI must clear for a curtailed stop.
+    pub alpha: f64,
+    /// Target CI half-width for a precision stop.
+    pub half_width: f64,
+    /// Normal quantile scaling the interval (2.0 ≈ 95% coverage).
+    pub z: f64,
+}
+
+impl StoppingRule {
+    /// Rule with the conventional defaults: curtail against `alpha`,
+    /// or stop once `p̂` is known to `half_width`, at z = 2 (~95%).
+    pub fn new(min_replicates: usize, alpha: f64, half_width: f64) -> Self {
+        assert!(min_replicates >= 1, "min_replicates must be >= 1");
+        assert!(alpha > 0.0 && alpha < 1.0, "alpha must lie in (0, 1)");
+        assert!(half_width > 0.0, "half_width must be positive");
+        Self {
+            min_replicates,
+            alpha,
+            half_width,
+            z: 2.0,
+        }
+    }
+
+    /// Half-width of the normal-approximation CI around the add-one
+    /// p-value after `num_replicates` replicates with `count_ge`
+    /// exceedances: `z · sqrt(p̂(1−p̂)/t)`.
+    pub fn ci_half_width(&self, count_ge: usize, num_replicates: usize) -> f64 {
+        let p = empirical_pvalue(count_ge, num_replicates);
+        self.z * (p * (1.0 - p) / num_replicates as f64).sqrt()
+    }
+
+    /// Whether a set with this running count may stop sampling.
+    pub fn decided(&self, count_ge: usize, num_replicates: usize) -> bool {
+        if num_replicates < self.min_replicates {
+            return false;
+        }
+        let p = empirical_pvalue(count_ge, num_replicates);
+        let w = self.ci_half_width(count_ge, num_replicates);
+        (p - w > self.alpha) || (p + w < self.alpha) || w <= self.half_width
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,6 +164,38 @@ mod tests {
         for (m, a) in marginal.iter().zip(&adjusted) {
             assert!(a >= m, "adjusted {a} must be >= marginal {m}");
         }
+    }
+
+    #[test]
+    fn stopping_rule_respects_min_replicates() {
+        let rule = StoppingRule::new(50, 0.05, 0.01);
+        // A wildly non-significant count, but below the floor: no stop.
+        assert!(!rule.decided(20, 40));
+        // Same proportion past the floor: CI [p̂ ± w] sits far above alpha.
+        assert!(rule.decided(30, 60));
+    }
+
+    #[test]
+    fn stopping_rule_curtails_extremes_but_not_the_boundary() {
+        let rule = StoppingRule::new(50, 0.05, 0.01);
+        // Clearly significant: zero exceedances in 100 → p̂ ≈ 0.0099,
+        // CI upper end < alpha.
+        assert!(rule.decided(0, 100));
+        // Clearly null: all exceedances → p̂ = 1, zero-width CI.
+        assert!(rule.decided(100, 100));
+        // Right at alpha: p̂ ≈ 0.05 with t=100 → CI straddles alpha and
+        // the half-width (~0.044) is far from the 0.01 target.
+        assert!(!rule.decided(4, 100));
+    }
+
+    #[test]
+    fn stopping_rule_precision_stop() {
+        // alpha sits on top of p̂ = 0.5 so curtailment can never fire and
+        // only the precision criterion decides.
+        let rule = StoppingRule::new(50, 0.5, 0.02);
+        // p̂ = 0.5 has maximal variance: needs t >= z²·p(1−p)/w² = 2500.
+        assert!(!rule.decided(1000, 2000));
+        assert!(rule.decided(1250, 2500));
     }
 
     proptest! {

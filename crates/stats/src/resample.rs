@@ -18,9 +18,9 @@ use rand::{Rng, SeedableRng};
 
 use crate::dist::sample_standard_normal;
 use crate::linalg::perturb_scores_blocked;
-use crate::pvalue::empirical_pvalue;
+use crate::pvalue::{empirical_pvalue, StoppingRule};
 use crate::score::ScoreModel;
-use crate::skat::{skat_all, SnpSet};
+use crate::skat::{skat_all, skat_statistic, SnpSet};
 
 /// Default replicate-tile width K for the blocked Monte Carlo kernel:
 /// each pass over the cached contribution matrix serves K replicates.
@@ -171,6 +171,148 @@ pub fn monte_carlo_blocked<M: ScoreModel>(
         observed,
         counts_ge: counts,
         num_replicates,
+    }
+}
+
+/// Result of an adaptive (sequentially stopped) Monte Carlo analysis.
+///
+/// Unlike [`ResamplingResult`], each set carries its own replicate count:
+/// `pvalues()[s]` is the add-one estimate over the `replicates_used[s]`
+/// replicates set `s` saw before its [`StoppingRule`] decision (or the
+/// full budget if it never stopped).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveResult {
+    /// Observed SKAT statistic per set.
+    pub observed: Vec<f64>,
+    /// Per-set exceedance count over that set's own replicates.
+    pub counts_ge: Vec<usize>,
+    /// Replicates each set consumed before stopping (≤ `max_replicates`).
+    pub replicates_used: Vec<usize>,
+    /// The fixed-B budget the run was capped at.
+    pub max_replicates: usize,
+    /// Row-replicate units of GEMM work actually performed: one unit is
+    /// one SNP row perturbed for one replicate.
+    pub replicates_run: u64,
+    /// Row-replicate units the stopping rule avoided versus running every
+    /// in-scope row for the full budget.
+    pub replicates_saved: u64,
+}
+
+impl AdaptiveResult {
+    /// Add-one empirical p-values, each over its set's own replicates.
+    pub fn pvalues(&self) -> Vec<f64> {
+        self.counts_ge
+            .iter()
+            .zip(&self.replicates_used)
+            .map(|(&c, &t)| empirical_pvalue(c, t))
+            .collect()
+    }
+}
+
+/// Adaptive Algorithm 3: [`monte_carlo_blocked`] tile rounds with a
+/// per-set sequential [`StoppingRule`]. After every tile of `tile`
+/// replicates each still-active set's running exceedance count is tested;
+/// decided sets freeze their count and replicate tally and drop out of
+/// the per-replicate SKAT pass.
+///
+/// The multiplier stream is drawn in full every round regardless of which
+/// sets remain active, so replicates `1..=replicates_used[s]` of set `s`
+/// are **bitwise identical** to the same replicates of the fixed-B oracle
+/// — adaptivity only truncates, never re-randomizes. A rule that cannot
+/// fire (e.g. `min_replicates > max_replicates`) therefore reproduces
+/// [`monte_carlo_blocked`] exactly. This single-machine path is the
+/// semantic oracle for the distributed grid's adaptive mode.
+#[allow(clippy::too_many_arguments)]
+pub fn monte_carlo_adaptive<M: ScoreModel>(
+    model: &M,
+    genotype_rows: &[Vec<u8>],
+    weights: &[f64],
+    sets: &[SnpSet],
+    max_replicates: usize,
+    seed: u64,
+    tile: usize,
+    rule: &StoppingRule,
+) -> AdaptiveResult {
+    assert!(tile > 0, "tile width must be positive");
+    let n = model.num_patients();
+    let m = genotype_rows.len();
+    let mut contribs = vec![0.0f64; m * n];
+    for (g, row) in genotype_rows.iter().zip(contribs.chunks_exact_mut(n)) {
+        model.contributions_into(g, row);
+    }
+    let scores: Vec<f64> = contribs.chunks_exact(n).map(|c| c.iter().sum()).collect();
+    let observed = skat_all(&scores, weights, sets);
+
+    // SNPs that belong to at least one set: the work the fixed-B budget
+    // would spend, in row-replicate units.
+    let mut in_scope = vec![false; m];
+    for set in sets {
+        for &j in &set.members {
+            in_scope[j] = true;
+        }
+    }
+    let scope_rows = in_scope.iter().filter(|&&b| b).count();
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut counts = vec![0usize; sets.len()];
+    let mut used = vec![0usize; sets.len()];
+    let mut decided = vec![false; sets.len()];
+    let mut replicates_run = 0u64;
+    let mut z_tile = vec![0.0f64; n * tile];
+    let mut tile_out = vec![0.0f64; m * tile];
+    let mut perturbed = vec![0.0f64; m];
+    let mut done = 0;
+    while done < max_replicates && decided.iter().any(|d| !d) {
+        let k = tile.min(max_replicates - done);
+        // Draw the full tile even for rows that have dropped out — the
+        // stream must stay aligned with the fixed-B oracle's.
+        for kk in 0..k {
+            for (i, zi) in mc_weights(&mut rng, n).into_iter().enumerate() {
+                z_tile[i * k + kk] = zi;
+            }
+        }
+        perturb_scores_blocked(&contribs, m, n, &z_tile[..n * k], k, &mut tile_out[..m * k]);
+        let active_rows = (0..m)
+            .filter(|&j| {
+                in_scope[j]
+                    && sets
+                        .iter()
+                        .enumerate()
+                        .any(|(s, set)| !decided[s] && set.members.contains(&j))
+            })
+            .count();
+        replicates_run += (active_rows * k) as u64;
+        for kk in 0..k {
+            for (j, p) in perturbed.iter_mut().enumerate() {
+                *p = tile_out[j * k + kk];
+            }
+            for (s, set) in sets.iter().enumerate() {
+                if decided[s] {
+                    continue;
+                }
+                if skat_statistic(&perturbed, weights, set) >= observed[s] {
+                    counts[s] += 1;
+                }
+            }
+        }
+        done += k;
+        for s in 0..sets.len() {
+            if !decided[s] {
+                used[s] = done;
+                if rule.decided(counts[s], done) {
+                    decided[s] = true;
+                }
+            }
+        }
+    }
+    let potential = (scope_rows * max_replicates) as u64;
+    AdaptiveResult {
+        observed,
+        counts_ge: counts,
+        replicates_used: used,
+        max_replicates,
+        replicates_run,
+        replicates_saved: potential.saturating_sub(replicates_run),
     }
 }
 
@@ -436,6 +578,135 @@ mod tests {
                 (a - b).abs() < 0.2,
                 "MC ({a}) and permutation ({b}) should roughly agree on the null"
             );
+        }
+    }
+
+    #[test]
+    fn adaptive_with_unreachable_rule_matches_fixed_b_exactly() {
+        // A rule that can never fire reduces the adaptive path to the
+        // fixed-B oracle: same counts, every set consuming the full budget.
+        let (model, rows, weights, sets) = tiny_cohort();
+        let rule = StoppingRule::new(1000, 0.05, 0.01);
+        let adaptive = monte_carlo_adaptive(&model, &rows, &weights, &sets, 120, 42, 7, &rule);
+        let oracle = monte_carlo_blocked(&model, &rows, &weights, &sets, 120, 42, 7);
+        assert_eq!(adaptive.observed, oracle.observed);
+        assert_eq!(adaptive.counts_ge, oracle.counts_ge);
+        assert_eq!(adaptive.replicates_used, vec![120, 120]);
+        assert_eq!(adaptive.replicates_saved, 0);
+        assert_eq!(adaptive.replicates_run, 4 * 120);
+    }
+
+    #[test]
+    fn adaptive_truncation_is_bitwise_prefix_of_oracle() {
+        // Whatever prefix a set consumes, its count over that prefix must
+        // equal the oracle's count over the same prefix — adaptivity only
+        // truncates the replicate stream, never re-randomizes it.
+        let (model, rows, weights, sets) = tiny_cohort();
+        let rule = StoppingRule::new(30, 0.05, 0.2);
+        let adaptive = monte_carlo_adaptive(&model, &rows, &weights, &sets, 200, 11, 10, &rule);
+        for (s, &t) in adaptive.replicates_used.iter().enumerate() {
+            let prefix = monte_carlo_blocked(&model, &rows, &weights, &sets, t, 11, 10);
+            assert_eq!(
+                adaptive.counts_ge[s], prefix.counts_ge[s],
+                "set {s} over its {t}-replicate prefix"
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_stops_clearly_null_and_clearly_significant_sets_early() {
+        // Planted causal set (p ≈ 1/B) and pure-noise set (p far from
+        // alpha): both should curtail at or near the floor, far below the
+        // budget, while agreeing with the oracle's significance call.
+        let mut rng = StdRng::seed_from_u64(77);
+        let n = 80;
+        let causal: Vec<u8> = (0..n).map(|_| rng.gen_range(0u8..3)).collect();
+        let y: Vec<f64> = causal
+            .iter()
+            .map(|&g| 3.0 * f64::from(g) + 0.3 * sample_standard_normal(&mut rng))
+            .collect();
+        let noise: Vec<u8> = (0..n).map(|_| rng.gen_range(0u8..3)).collect();
+        let rows = vec![causal, noise];
+        let weights = vec![1.0, 1.0];
+        let sets = vec![SnpSet::new(0, vec![0]), SnpSet::new(1, vec![1])];
+        let model = GaussianScore::new(&y);
+
+        let budget = 2000;
+        let rule = StoppingRule::new(60, 0.05, 0.01);
+        let adaptive =
+            monte_carlo_adaptive(&model, &rows, &weights, &sets, budget, 5, MC_TILE, &rule);
+        let oracle = monte_carlo_blocked(&model, &rows, &weights, &sets, budget, 5, MC_TILE);
+        let pa = adaptive.pvalues();
+        let po = oracle.pvalues();
+        for s in 0..2 {
+            assert!(
+                adaptive.replicates_used[s] <= budget / 10,
+                "set {s} should stop early (used {} of {budget})",
+                adaptive.replicates_used[s]
+            );
+            assert_eq!(
+                pa[s] <= 0.05,
+                po[s] <= 0.05,
+                "significance call must match the oracle (adaptive {pa:?}, oracle {po:?})"
+            );
+        }
+        assert!(
+            adaptive.replicates_saved >= 9 * adaptive.replicates_run,
+            "clear sets should save ≥ 90% of the budgeted work (run {}, saved {})",
+            adaptive.replicates_run,
+            adaptive.replicates_saved
+        );
+    }
+
+    mod adaptive_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Adaptive p-values agree with the fixed-B oracle to within the
+        /// two estimates' combined CI widths (with slack for the
+        /// sequential looks and the add-one bias) across random models.
+        #[test]
+        fn prop_adaptive_within_combined_ci_of_oracle(
+            seed in 0u64..1_000,
+            data_seed in 0u64..1_000,
+        ) {
+            let mut rng = StdRng::seed_from_u64(data_seed);
+            let n = 40;
+            let m = 12;
+            let y: Vec<f64> = (0..n).map(|_| sample_standard_normal(&mut rng)).collect();
+            let rows: Vec<Vec<u8>> = (0..m)
+                .map(|_| (0..n).map(|_| rng.gen_range(0u8..3)).collect())
+                .collect();
+            let weights = vec![1.0; m];
+            let sets: Vec<SnpSet> = (0..m / 3)
+                .map(|k| SnpSet::new(k as u64, (3 * k..3 * k + 3).collect()))
+                .collect();
+            let model = GaussianScore::new(&y);
+
+            let budget = 300;
+            let rule = StoppingRule::new(80, 0.05, 0.05);
+            let adaptive =
+                monte_carlo_adaptive(&model, &rows, &weights, &sets, budget, seed, MC_TILE, &rule);
+            let oracle = monte_carlo_blocked(&model, &rows, &weights, &sets, budget, seed, MC_TILE);
+            let pa = adaptive.pvalues();
+            let po = oracle.pvalues();
+            for s in 0..sets.len() {
+                let t = adaptive.replicates_used[s];
+                prop_assert!(t >= rule.min_replicates.min(budget) && t <= budget);
+                prop_assert!(adaptive.counts_ge[s] <= t);
+                let w_adaptive = rule.ci_half_width(adaptive.counts_ge[s], t);
+                let w_oracle = rule.ci_half_width(oracle.counts_ge[s], budget);
+                let bound = 2.5 * (w_adaptive + w_oracle) + 0.02;
+                prop_assert!(
+                    (pa[s] - po[s]).abs() <= bound,
+                    "set {}: adaptive p {} vs oracle p {} exceeds bound {}",
+                    s, pa[s], po[s], bound
+                );
+            }
+        }
         }
     }
 

@@ -135,4 +135,20 @@ direct_ratio="$(sed -n 's/.*"direct_over_byte": \([0-9.eE+-]*\).*/\1/p' "$kernel
 awk -v r="$direct_ratio" 'BEGIN { exit (r + 0 < 1.0) ? 0 : 1 }' \
     || { echo "kernels smoke: packed-direct kernels slower than byte path (ratio $direct_ratio >= 1.0)" >&2; exit 1; }
 
+echo "== resample smoke: distributed grid matches the oracle and adaptive saves work =="
+resample_json="$events_dir/BENCH_resample_smoke.json"
+# The binary itself asserts the distributed grid bitwise-identical to the
+# sequential blocked oracle (and the adaptive run to the adaptive oracle)
+# before timing anything, so a nonzero exit is the identity gate.
+cargo run --release -p sparkscore-bench --bin resample -- \
+    --patients 400 --snps 128 --sets 16 --replicates 400 --partitions 4 \
+    --min-replicates 60 --out "$resample_json" > /dev/null
+[ -s "$resample_json" ] || { echo "resample smoke: no JSON at $resample_json" >&2; exit 1; }
+grep -q '"identity": "bitwise"' "$resample_json" \
+    || { echo "resample smoke: JSON missing the bitwise-identity attestation" >&2; exit 1; }
+reduction="$(sed -n 's/.*"replicate_reduction": \([0-9.eE+-]*\).*/\1/p' "$resample_json")"
+[ -n "$reduction" ] || { echo "resample smoke: JSON missing replicate_reduction" >&2; exit 1; }
+awk -v r="$reduction" 'BEGIN { exit (r + 0 >= 2.0) ? 0 : 1 }' \
+    || { echo "resample smoke: adaptive stopping cut replicate work only ${reduction}x (< 2x)" >&2; exit 1; }
+
 echo "CI gate passed."
